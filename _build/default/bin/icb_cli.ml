@@ -1,0 +1,275 @@
+(* Command-line interface to the checker.
+
+   icb check FILE            -- iterative context bounding, stop at first bug
+   icb explore FILE          -- run a strategy, print statistics
+   icb compile FILE          -- type-check and dump the compiled program
+   icb models                -- list bundled benchmark models
+   icb check-model NAME      -- check a bundled model (e.g. "bluetooth:bug") *)
+
+open Cmdliner
+
+let load_program path = Icb.compile_file path
+
+(* Bundled models are addressed as "<model>" or "<model>:<variant>". *)
+let bundled_programs () =
+  List.concat_map
+    (fun (e : Icb_models.Registry.entry) ->
+      let base = String.lowercase_ascii e.model_name in
+      let base =
+        String.map (fun c -> if c = ' ' then '-' else c) base
+      in
+      let correct =
+        match e.correct_program with
+        | Some p -> [ (base, p) ]
+        | None -> []
+      in
+      correct
+      @ List.map
+          (fun (b : Icb_models.Registry.bug_spec) ->
+            (* the registry's display names can contain spaces; address
+               bugs by their first token *)
+            let short =
+              match String.index_opt b.bug_name ' ' with
+              | Some i -> String.sub b.bug_name 0 i
+              | None -> b.bug_name
+            in
+            (base ^ ":" ^ short, b.bug_program))
+          e.bugs)
+    Icb_models.Registry.all
+
+let resolve_model name =
+  match List.assoc_opt name (bundled_programs ()) with
+  | Some p -> Ok (p ())
+  | None ->
+    Error
+      (Printf.sprintf "unknown model %S; run `icb models` for the list" name)
+
+(* --- common options --------------------------------------------------------- *)
+
+let bound_arg =
+  let doc = "Maximum number of preemptions to explore (default 3)." in
+  Arg.(value & opt int 3 & info [ "b"; "bound" ] ~docv:"BOUND" ~doc)
+
+let no_deadlock_arg =
+  let doc = "Do not treat deadlocks as bugs." in
+  Arg.(value & flag & info [ "no-deadlock" ] ~doc)
+
+let granularity_arg =
+  let doc =
+    "Scheduling granularity: $(b,sync) (scheduling points at \
+     synchronization accesses only, with race checking — the CHESS \
+     reduction) or $(b,every) (every shared access — the ZING behaviour)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sync", `Sync); ("every", `Every) ]) `Sync
+    & info [ "granularity" ] ~docv:"MODE" ~doc)
+
+let config_of_granularity = function
+  | `Sync -> Icb_search.Mach_engine.default_config
+  | `Every -> Icb_search.Mach_engine.zing_config
+
+let options_of ~no_deadlock =
+  { Icb_search.Collector.default_options with deadlock_is_error = not no_deadlock }
+
+(* --- check ------------------------------------------------------------------ *)
+
+let report_bug prog (bug : Icb.bug) =
+  Format.printf "BUG FOUND (%d preemption%s):@.  %a@.@.trace:@." bug.preemptions
+    (if bug.preemptions = 1 then "" else "s")
+    Icb.pp_bug bug;
+  List.iter (fun l -> Format.printf "  %s@." l) (Icb.explain prog bug)
+
+let check_run path bound no_deadlock gran =
+  match load_program path with
+  | exception Icb.Compile_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | prog -> (
+    let config = config_of_granularity gran in
+    let options = options_of ~no_deadlock in
+    match Icb.check ~config ~options ~max_bound:bound prog with
+    | Some bug ->
+      report_bug prog bug;
+      exit 1
+    | None ->
+      Format.printf "no bug found in executions with at most %d preemptions@."
+        bound)
+
+let check_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Model source file.")
+  in
+  let doc = "systematically test a model with iterative context bounding" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const check_run $ path $ bound_arg $ no_deadlock_arg $ granularity_arg)
+
+(* --- check-model -------------------------------------------------------------- *)
+
+let check_model_run name bound no_deadlock gran =
+  match resolve_model name with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | Ok prog -> (
+    let config = config_of_granularity gran in
+    let options = options_of ~no_deadlock in
+    match Icb.check ~config ~options ~max_bound:bound prog with
+    | Some bug ->
+      report_bug prog bug;
+      exit 1
+    | None ->
+      Format.printf "no bug found in executions with at most %d preemptions@."
+        bound)
+
+let check_model_cmd =
+  let model_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Bundled model name, e.g. bluetooth:check-then-add-reference.")
+  in
+  let doc = "check one of the bundled benchmark models" in
+  Cmd.v
+    (Cmd.info "check-model" ~doc)
+    Term.(
+      const check_model_run $ model_name $ bound_arg $ no_deadlock_arg
+      $ granularity_arg)
+
+(* --- explore ------------------------------------------------------------------ *)
+
+let strategy_arg =
+  let doc =
+    "Search strategy: $(b,icb), $(b,dfs), $(b,db:N) (depth-bounded), \
+     $(b,idfs:N) (iterative deepening to N), $(b,random), $(b,sleep) \
+     (DFS with sleep-set partial-order reduction), $(b,pct:D) \
+     (probabilistic concurrency testing with D change points), or \
+     $(b,most-enabled) (best-first by enabled-thread count)."
+  in
+  Arg.(value & opt string "icb" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let max_execs_arg =
+  let doc = "Stop after N executions." in
+  Arg.(
+    value & opt (some int) None & info [ "max-executions" ] ~docv:"N" ~doc)
+
+let parse_strategy s =
+  let starts_with prefix =
+    String.length s > String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let suffix_int prefix =
+    int_of_string_opt
+      (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  in
+  match s with
+  | "icb" -> Ok (Icb_search.Explore.Icb { max_bound = None; cache = true })
+  | "dfs" -> Ok (Icb_search.Explore.Dfs { cache = true })
+  | "random" -> Ok (Icb_search.Explore.Random_walk { seed = 2007L })
+  | "sleep" -> Ok Icb_search.Explore.Sleep_dfs
+  | "most-enabled" -> Ok (Icb_search.Explore.Most_enabled { cache = true })
+  | _ when starts_with "icb:" -> (
+    match suffix_int "icb:" with
+    | Some b -> Ok (Icb_search.Explore.Icb { max_bound = Some b; cache = true })
+    | None -> Error ("bad strategy: " ^ s))
+  | _ when starts_with "db:" -> (
+    match suffix_int "db:" with
+    | Some d -> Ok (Icb_search.Explore.Bounded_dfs { depth = d; cache = true })
+    | None -> Error ("bad strategy: " ^ s))
+  | _ when starts_with "pct:" -> (
+    match suffix_int "pct:" with
+    | Some d ->
+      Ok (Icb_search.Explore.Pct { change_points = d; seed = 2007L })
+    | None -> Error ("bad strategy: " ^ s))
+  | _ when starts_with "idfs:" -> (
+    match suffix_int "idfs:" with
+    | Some d ->
+      Ok
+        (Icb_search.Explore.Iterative_dfs
+           { start = 10; incr = 10; max_depth = d; cache = true })
+    | None -> Error ("bad strategy: " ^ s))
+  | _ -> Error ("bad strategy: " ^ s)
+
+let explore_run path strategy no_deadlock gran max_execs =
+  match load_program path, parse_strategy strategy with
+  | exception Icb.Compile_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | _, Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | prog, Ok strategy ->
+    let config = config_of_granularity gran in
+    let options =
+      {
+        (options_of ~no_deadlock) with
+        Icb_search.Collector.max_executions = max_execs;
+      }
+    in
+    let r = Icb.run ~config ~options ~strategy prog in
+    Format.printf "%a@." Icb_search.Sresult.pp_summary r;
+    List.iter
+      (fun (bug : Icb.bug) ->
+        Format.printf "@.%a@." Icb.pp_bug bug)
+      r.Icb_search.Sresult.bugs;
+    if r.bugs <> [] then exit 1
+
+let explore_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Model source file.")
+  in
+  let doc = "explore a model's state space with a chosen strategy" in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      const explore_run $ path $ strategy_arg $ no_deadlock_arg
+      $ granularity_arg $ max_execs_arg)
+
+(* --- compile ------------------------------------------------------------------ *)
+
+let compile_run path =
+  match load_program path with
+  | exception Icb.Compile_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | prog -> Format.printf "%a@." Icb.Machine.Prog.pp prog
+
+let compile_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Model source file.")
+  in
+  let doc = "type-check a model and dump the compiled instructions" in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const compile_run $ path)
+
+(* --- models ------------------------------------------------------------------- *)
+
+let models_run () =
+  Format.printf "bundled models (use with check-model):@.";
+  List.iter
+    (fun (name, _) -> Format.printf "  %s@." name)
+    (bundled_programs ())
+
+let models_cmd =
+  let doc = "list the bundled benchmark models" in
+  Cmd.v (Cmd.info "models" ~doc) Term.(const models_run $ const ())
+
+let () =
+  let doc =
+    "systematic testing of multithreaded models with iterative context \
+     bounding (Musuvathi & Qadeer, PLDI 2007)"
+  in
+  let info = Cmd.info "icb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; check_model_cmd; explore_cmd; compile_cmd; models_cmd ]))

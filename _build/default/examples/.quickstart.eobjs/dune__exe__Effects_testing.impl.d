@@ -1,0 +1,1 @@
+examples/effects_testing.ml: Format Icb_chess Icb_search List

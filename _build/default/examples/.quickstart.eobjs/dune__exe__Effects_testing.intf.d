@@ -1,0 +1,1 @@
+examples/effects_testing.mli:

@@ -1,0 +1,1 @@
+examples/explore_wsq.ml: Array Format Icb Icb_models Icb_search List

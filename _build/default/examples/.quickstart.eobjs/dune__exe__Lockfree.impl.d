@@ -1,0 +1,1 @@
+examples/lockfree.ml: Format Icb_chess Icb_lockfree Icb_search List

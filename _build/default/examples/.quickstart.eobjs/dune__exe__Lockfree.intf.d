@@ -1,0 +1,1 @@
+examples/lockfree.mli:

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Format Icb Icb_search List Printf Str_replace String

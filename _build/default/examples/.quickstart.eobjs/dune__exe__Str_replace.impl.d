@@ -1,0 +1,1 @@
+examples/str_replace.ml: Buffer String

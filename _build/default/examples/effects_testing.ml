@@ -1,0 +1,71 @@
+(* Testing real OCaml code with the effects-based CHESS runtime.
+
+     dune exec examples/effects_testing.exe
+
+   The code under test is ordinary OCaml written against the shim
+   primitives in [Icb_chess.Api]; the checker reruns it under every
+   relevant schedule.  Here: a small producer/consumer queue whose
+   condition signalling is wrong in an easy-to-write way. *)
+
+module Api = Icb_chess.Api
+module CE = Icb_chess.Chess_engine
+
+(* A one-slot mailbox.  [buggy = true] guards the slot with a
+   manual-reset event that the producer clears only after filling the
+   slot: both producers can sail through [wait] before either resets, and
+   the second overwrites the unconsumed message.  The correct variant
+   uses an auto-reset event, whose wait consumes the permit atomically. *)
+let mailbox_test ~buggy () =
+  let slot = Api.Data.make None in
+  let m = Api.Mutex.create () in
+  let slot_free = Api.Event.create ~manual:buggy ~signaled:true () in
+  let slot_full = Api.Semaphore.create 0 in
+  let produced = Api.Semaphore.create 0 in
+  let produce v =
+    Api.Event.wait slot_free;
+    Api.Mutex.with_lock m (fun () ->
+        (match Api.Data.get slot with
+        | None -> Api.Data.set slot (Some v)
+        | Some _ -> failwith "overwrote an unconsumed message");
+        (* the manual-reset variant clears the permit too late *)
+        if buggy then Api.Event.reset slot_free);
+    Api.Semaphore.release slot_full
+  in
+  let consume () =
+    Api.Semaphore.acquire slot_full;
+    Api.Mutex.with_lock m (fun () ->
+        (match Api.Data.get slot with
+        | Some _ -> Api.Data.set slot None
+        | None -> failwith "consumed an empty slot");
+        Api.Event.set slot_free)
+  in
+  for v = 1 to 2 do
+    Api.spawn (fun () ->
+        produce v;
+        Api.Semaphore.release produced)
+  done;
+  Api.spawn (fun () ->
+      consume ();
+      consume ();
+      Api.Semaphore.release produced);
+  Api.Semaphore.acquire produced;
+  Api.Semaphore.acquire produced;
+  Api.Semaphore.acquire produced
+
+let () =
+  (match CE.check (mailbox_test ~buggy:true) with
+  | Some bug ->
+    Format.printf "buggy mailbox: %s (needs %d preemption(s))@."
+      bug.Icb_search.Sresult.msg bug.preemptions
+  | None -> Format.printf "buggy mailbox: no bug found?!@.");
+  let r =
+    CE.run
+      ~strategy:(Icb_search.Explore.Icb { max_bound = Some 2; cache = false })
+      (mailbox_test ~buggy:false)
+  in
+  Format.printf
+    "fixed mailbox: %d executions with <= 2 preemptions, %d bugs \
+     (stateless replays so far: %d)@."
+    r.Icb_search.Sresult.executions
+    (List.length r.bugs)
+    (CE.replays ())

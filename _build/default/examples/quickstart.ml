@@ -1,0 +1,58 @@
+(* Quickstart: write a model, check it, read the counterexample.
+
+     dune exec examples/quickstart.exe
+
+   The model is the paper's introductory scenario: a worker enters the
+   driver while a stopper tears it down.  `Icb.check` explores schedules
+   in increasing order of preempting context switches and reports the
+   first failing one — which is therefore a simplest explanation of the
+   bug. *)
+
+let model =
+  {|
+// A device driver: stop() must wait until in-flight work drains.
+var inFlight: int = 0;
+volatile var stopping: bool = false;
+volatile var stopped: bool = false;
+mutex m;
+
+proc worker() {
+  // check-then-act: the flag read and the registration are not atomic
+  if (!stopping) {
+    lock(m);
+    inFlight = inFlight + 1;
+    unlock(m);
+    assert(!stopped, "worked on a stopped driver");
+    lock(m);
+    inFlight = inFlight - 1;
+    unlock(m);
+  }
+}
+
+proc stopper() {
+  stopping = true;
+  var n: int;
+  lock(m);
+  n = inFlight;
+  unlock(m);
+  if (n == 0) {
+    stopped = true;
+  }
+}
+
+main {
+  spawn worker();
+  spawn stopper();
+}
+|}
+
+let () =
+  let prog = Icb.compile model in
+  match Icb.check prog with
+  | None -> print_endline "no bug found up to 3 preemptions"
+  | Some bug ->
+    Format.printf
+      "Found a bug needing %d preemption(s) — the minimal number:@.@.  %a@.@.\
+       How it happens:@."
+      bug.preemptions Icb.pp_bug bug;
+    List.iter (fun l -> Format.printf "  %s@." l) (Icb.explain prog bug)

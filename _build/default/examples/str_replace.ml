@@ -1,0 +1,17 @@
+(* Minimal string substitution helper for the examples (no external deps). *)
+
+let all s ~needle ~by =
+  let nl = String.length needle in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    if !i + nl <= String.length s && String.sub s !i nl = needle then begin
+      Buffer.add_string buf by;
+      i := !i + nl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

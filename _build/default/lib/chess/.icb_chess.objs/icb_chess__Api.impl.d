@@ -1,0 +1,1 @@
+lib/chess/api.ml: Array Effect Format Icb_machine List Printexc Printf

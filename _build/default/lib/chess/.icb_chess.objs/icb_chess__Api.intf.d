@@ -1,0 +1,1 @@
+lib/chess/api.mli: Icb_machine

@@ -1,0 +1,1 @@
+lib/chess/chess_engine.ml: Api Icb_machine Icb_race Icb_search List Printf Result

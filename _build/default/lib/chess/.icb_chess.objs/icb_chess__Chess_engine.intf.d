@@ -1,0 +1,1 @@
+lib/chess/chess_engine.mli: Icb_search

@@ -1,0 +1,145 @@
+module Engine = Icb_search.Engine
+module Hbsig = Icb_race.Hbsig
+module Vcdetect = Icb_race.Vcdetect
+
+let replay_count = ref 0
+
+let replays () = !replay_count
+
+type state = {
+  sched_rev : int list;
+  depth : int;
+  blocks : int;
+  npre : int;
+  nthreads : int;
+  enabled : int list;          (* cached at creation: pure data *)
+  status : Engine.status;
+  hbs : Hbsig.t;
+  det : Vcdetect.t;
+  mutable live : Api.Run.t option;
+      (* an execution positioned exactly here, if this state still owns
+         one; consumed by the first [step] from this state *)
+}
+
+module Make (T : sig
+  val test : unit -> unit
+end) : Icb_search.Engine.S with type state = state = struct
+  type nonrec state = state
+
+  let status_of_run r race =
+    match race with
+    | Some (key, msg) -> Engine.Failed { key; msg }
+    | None -> (
+      match Api.Run.status r with
+      | Api.Run.Running -> Engine.Running
+      | Api.Run.Terminated -> Engine.Terminated
+      | Api.Run.Deadlock blocked -> Engine.Deadlock blocked
+      | Api.Run.Failed msg -> Engine.Failed { key = msg; msg })
+
+  let initial () =
+    let r = Api.Run.create T.test in
+    {
+      sched_rev = [];
+      depth = 0;
+      blocks = 0;
+      npre = 0;
+      nthreads = Api.Run.thread_count r;
+      enabled = Api.Run.enabled r;
+      status = status_of_run r None;
+      hbs = Hbsig.empty;
+      det = Vcdetect.empty;
+      live = Some r;
+    }
+
+  (* Rebuild a live run positioned at [s] by replaying its schedule. *)
+  let materialize s =
+    match s.live with
+    | Some r ->
+      s.live <- None;
+      r
+    | None ->
+      incr replay_count;
+      let r = Api.Run.create T.test in
+      List.iter
+        (fun t -> ignore (Api.Run.step r t))
+        (List.rev s.sched_rev);
+      r
+
+  let step s t =
+    if not (List.mem t s.enabled) then
+      invalid_arg "Chess_engine.step: thread not enabled";
+    let r = materialize s in
+    let preempting =
+      Engine.preempting
+        ~last_tid:(match s.sched_rev with last :: _ -> last | [] -> -1)
+        ~enabled:s.enabled ~chosen:t
+    in
+    let events, blocking = Api.Run.step r t in
+    let det, race =
+      match Vcdetect.observe s.det events with
+      | Ok det -> (det, None)
+      | Error race ->
+        let cell =
+          match race.Icb_race.Report.var with
+          | Icb_machine.Interp.Gvar (id, _) -> Printf.sprintf "cell %d" id
+          | Icb_machine.Interp.Svar (id, _) -> Printf.sprintf "object %d" id
+          | Icb_machine.Interp.Hcell (a, _) -> Printf.sprintf "heap &%d" a
+        in
+        ( s.det,
+          Some
+            ( "race:" ^ cell,
+              Printf.sprintf "data race on %s between threads %d and %d" cell
+                race.Icb_race.Report.tid1 race.Icb_race.Report.tid2 ) )
+    in
+    {
+      sched_rev = t :: s.sched_rev;
+      depth = s.depth + 1;
+      blocks = (s.blocks + if blocking then 1 else 0);
+      npre = (s.npre + if preempting then 1 else 0);
+      nthreads = Api.Run.thread_count r;
+      enabled = (if race = None then Api.Run.enabled r else []);
+      status = status_of_run r race;
+      hbs = Hbsig.observe s.hbs events;
+      det;
+      live = (if race = None then Some r else None);
+    }
+
+  let enabled s = s.enabled
+  let status s = s.status
+
+  (* Speculation on the stateless engine costs a replay: rebuild a run at
+     [s] without consuming [s]'s own live run, step it, read the events.
+     Yielding steps and steps that stop the run (errors, races, the final
+     termination) are pinned — see Mach_engine.step_footprint. *)
+  let step_footprint s tid =
+    if not (List.mem tid s.enabled) then
+      invalid_arg "Chess_engine.step_footprint: thread not enabled";
+    incr replay_count;
+    let r = Api.Run.create T.test in
+    List.iter (fun t -> ignore (Api.Run.step r t)) (List.rev s.sched_rev);
+    let events, _ = Api.Run.step r tid in
+    let pinned =
+      Api.Run.yielded r tid
+      || (match Api.Run.status r with Api.Run.Running -> false | _ -> true)
+      || Result.is_error (Vcdetect.observe s.det events)
+    in
+    Engine.Footprint.of_events ~pinned events
+  let signature s = Hbsig.signature s.hbs
+  let depth s = s.depth
+  let blocking_ops s = s.blocks
+  let preemptions s = s.npre
+  let schedule s = List.rev s.sched_rev
+  let thread_count s = s.nthreads
+end
+
+let engine test =
+  (module Make (struct
+    let test = test
+  end) : Icb_search.Engine.S
+    with type state = state)
+
+let check ?options ?(max_bound = 3) test =
+  Icb_search.Explore.check (engine test) ?options ~max_bound ()
+
+let run ?options ~strategy test =
+  Icb_search.Explore.run (engine test) ?options strategy

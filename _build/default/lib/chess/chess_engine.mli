@@ -1,0 +1,33 @@
+(** The stateless CHESS engine: an {!Icb_search.Engine.S} whose states are
+    schedule prefixes of a real OCaml test body.
+
+    Stepping a state that still owns a live execution advances it in
+    place; stepping a state whose execution has moved on (because the
+    search branched) transparently replays the prefix from the start —
+    the Verisoft/CHESS architecture.  Coverage signatures are
+    happens-before signatures; every execution is race-checked. *)
+
+type state
+
+module Make (_ : sig
+  val test : unit -> unit
+end) : Icb_search.Engine.S with type state = state
+
+val check :
+  ?options:Icb_search.Collector.options ->
+  ?max_bound:int ->
+  (unit -> unit) ->
+  Icb_search.Sresult.bug option
+(** One-call ICB checking of a test body, stopping at the first bug
+    (default bound 3, like [Icb.check]). *)
+
+val run :
+  ?options:Icb_search.Collector.options ->
+  strategy:Icb_search.Explore.strategy ->
+  (unit -> unit) ->
+  Icb_search.Sresult.t
+
+val replays : unit -> int
+(** Number of from-scratch replays performed since the program started —
+    exposed so tests and benchmarks can report the stateless exploration's
+    replay overhead. *)

@@ -1,0 +1,1 @@
+lib/core/icb.ml: Array Engine_helpers Format Icb_machine Icb_race Icb_search Icb_util Icb_zlang List String

@@ -1,0 +1,1 @@
+lib/core/icb.mli: Format Icb_machine Icb_race Icb_search Icb_util Icb_zlang

@@ -1,0 +1,1 @@
+lib/core/engine_helpers.ml: Icb_search

@@ -1,0 +1,4 @@
+(* Small shared helpers for the facade. *)
+
+let preempting_of_schedule ~enabled ~last ~chosen =
+  Icb_search.Engine.preempting ~last_tid:last ~enabled ~chosen

@@ -1,0 +1,65 @@
+module Machine = Icb_machine
+module Zlang = Icb_zlang
+module Race = Icb_race
+module Search = Icb_search
+module Util = Icb_util
+
+type prog = Icb_machine.Prog.t
+type bug = Icb_search.Sresult.bug
+type result = Icb_search.Sresult.t
+
+exception Compile_error of string
+
+let compile src =
+  try Icb_zlang.Zl.compile_source src
+  with Icb_zlang.Zl.Error msg -> raise (Compile_error msg)
+
+let compile_file path =
+  try Icb_zlang.Zl.compile_file path
+  with Icb_zlang.Zl.Error msg -> raise (Compile_error msg)
+
+let engine ?(config = Icb_search.Mach_engine.default_config) prog =
+  (module Icb_search.Mach_engine.Make (struct
+    let config = config
+    let prog = prog
+  end) : Icb_search.Engine.S
+    with type state = Icb_search.Mach_engine.state)
+
+let run ?config ?options ~strategy prog =
+  Icb_search.Explore.run (engine ?config prog) ?options strategy
+
+let check ?config ?options ?(max_bound = 3) prog =
+  Icb_search.Explore.check (engine ?config prog) ?options ~max_bound ()
+
+let pp_bug fmt (b : bug) =
+  Format.fprintf fmt
+    "@[<v>%s@ preemptions: %d, context switches: %d, steps: %d@ schedule: %s@]"
+    b.msg b.preemptions b.context_switches b.depth
+    (String.concat " " (List.map string_of_int b.schedule))
+
+let explain ?(config = Icb_search.Mach_engine.default_config) prog (b : bug) =
+  let module E = (val engine ~config prog) in
+  let lines = ref [] in
+  let add fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  let st = ref (E.initial ()) in
+  List.iter
+    (fun tid ->
+      let before = E.enabled !st in
+      let preempting =
+        Engine_helpers.preempting_of_schedule ~enabled:before
+          ~last:(Icb_search.Mach_engine.machine_state !st).Icb_machine.State
+           .last_tid ~chosen:tid
+      in
+      st := E.step !st tid;
+      let m = Icb_search.Mach_engine.machine_state !st in
+      let th = Icb_machine.State.thread_get m tid in
+      add "thread %d ran%s (now at %s pc=%d)%s" tid
+        (if preempting then " [preemption]" else "")
+        m.Icb_machine.State.prog.procs.(th.proc).pname th.pc
+        (match E.status !st with
+        | Icb_search.Engine.Failed { msg; _ } -> ": " ^ msg
+        | Icb_search.Engine.Deadlock _ -> ": deadlock"
+        | Icb_search.Engine.Terminated -> ": all threads finished"
+        | Icb_search.Engine.Running -> ""))
+    b.schedule;
+  List.rev !lines

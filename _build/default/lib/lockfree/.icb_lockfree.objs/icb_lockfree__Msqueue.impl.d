@@ -1,0 +1,1 @@
+lib/lockfree/msqueue.ml: Icb_chess

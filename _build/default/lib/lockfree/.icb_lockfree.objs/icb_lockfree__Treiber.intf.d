@@ -1,0 +1,1 @@
+lib/lockfree/treiber.mli:

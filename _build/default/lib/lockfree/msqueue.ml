@@ -1,0 +1,56 @@
+module Api = Icb_chess.Api
+
+type 'a node = {
+  value : 'a option;                    (* None only for the dummy *)
+  next : 'a node option Api.Shared.t;
+}
+
+type 'a t = {
+  head : 'a node Api.Shared.t;          (* points at the dummy *)
+  tail : 'a node Api.Shared.t;          (* lags at most one node behind *)
+}
+
+let create () =
+  let dummy = { value = None; next = Api.Shared.make None } in
+  { head = Api.Shared.make dummy; tail = Api.Shared.make dummy }
+
+let enqueue t v =
+  let n = { value = Some v; next = Api.Shared.make None } in
+  let rec attempt () =
+    let last = Api.Shared.get t.tail in
+    match Api.Shared.get last.next with
+    | None ->
+      if Api.Shared.cas_phys last.next ~expect:None ~update:(Some n) then
+        (* linked; swinging the tail is cooperative and may fail *)
+        ignore (Api.Shared.cas_phys t.tail ~expect:last ~update:n)
+      else attempt ()
+    | Some nn ->
+      (* help the lagging tail forward, then retry *)
+      ignore (Api.Shared.cas_phys t.tail ~expect:last ~update:nn);
+      attempt ()
+  in
+  attempt ()
+
+let rec dequeue t =
+  let first = Api.Shared.get t.head in
+  let last = Api.Shared.get t.tail in
+  match Api.Shared.get first.next with
+  | None -> None
+  | Some n ->
+    if first == last then begin
+      (* tail lags behind a non-empty list: help and retry *)
+      ignore (Api.Shared.cas_phys t.tail ~expect:last ~update:n);
+      dequeue t
+    end
+    else if Api.Shared.cas_phys t.head ~expect:first ~update:n then n.value
+    else dequeue t
+
+module Broken = struct
+  (* the link is published with a plain store: two concurrent enqueuers
+     can both hang their node off the same predecessor, losing one *)
+  let enqueue t v =
+    let n = { value = Some v; next = Api.Shared.make None } in
+    let last = Api.Shared.get t.tail in
+    Api.Shared.set last.next (Some n);
+    ignore (Api.Shared.cas_phys t.tail ~expect:last ~update:n)
+end

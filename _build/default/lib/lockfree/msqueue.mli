@@ -1,0 +1,20 @@
+(** The Michael–Scott lock-free queue (PODC 1996) over the checker's shim
+    primitives: a linked list with a dummy head, a lagging tail pointer
+    that helpers swing forward, and CAS-published links.
+
+    Like {!Treiber}, only usable inside a checker exploration. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> unit
+
+val dequeue : 'a t -> 'a option
+
+(** Broken variant: the enqueue swings the tail before linking the node,
+    so a concurrent enqueuer can hang its node off an unlinked tail and
+    lose messages. *)
+module Broken : sig
+  val enqueue : 'a t -> 'a -> unit
+end

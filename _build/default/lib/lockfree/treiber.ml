@@ -1,0 +1,30 @@
+module Api = Icb_chess.Api
+
+type 'a node = {
+  value : 'a;
+  next : 'a node option;
+}
+
+type 'a t = { head : 'a node option Api.Shared.t }
+
+let create () = { head = Api.Shared.make None }
+
+let rec push t v =
+  let h = Api.Shared.get t.head in
+  let n = { value = v; next = h } in
+  if not (Api.Shared.cas_phys t.head ~expect:h ~update:(Some n)) then push t v
+
+let rec pop t =
+  match Api.Shared.get t.head with
+  | None -> None
+  | Some n as h ->
+    if Api.Shared.cas_phys t.head ~expect:h ~update:n.next then Some n.value
+    else pop t
+
+module Broken = struct
+  (* read-then-write publication: a concurrent push between the read and
+     the write is lost *)
+  let push t v =
+    let h = Api.Shared.get t.head in
+    Api.Shared.set t.head (Some { value = v; next = h })
+end

@@ -1,0 +1,24 @@
+(** Treiber's lock-free stack, written against the checker's shim
+    primitives — a worked example of using the library to verify a
+    non-blocking data structure (the style of code the paper's
+    work-stealing-queue benchmark exercises).
+
+    Must be created and used inside a checker exploration
+    ([Icb_chess.Chess_engine.check] or [run]); see [test/test_lockfree.ml]
+    for the verification harness. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free: retries its CAS until it wins.  Every retry means another
+    thread made progress, so all explored executions terminate. *)
+
+val pop : 'a t -> 'a option
+
+(** A deliberately broken variant for the tests: the push publishes with a
+    plain write instead of a CAS, losing concurrent pushes. *)
+module Broken : sig
+  val push : 'a t -> 'a -> unit
+end

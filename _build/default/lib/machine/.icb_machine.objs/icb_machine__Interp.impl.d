@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Instr List Merr Printf Prog State Value

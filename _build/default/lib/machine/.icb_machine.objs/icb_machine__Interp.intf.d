@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Merr Prog State

@@ -1,0 +1,1 @@
+lib/machine/merr.ml: Format List String

@@ -1,0 +1,1 @@
+lib/machine/merr.mli: Format

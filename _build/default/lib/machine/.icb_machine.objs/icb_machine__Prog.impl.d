@@ -1,0 +1,1 @@
+lib/machine/prog.ml: Array Format Instr List Printf String Value

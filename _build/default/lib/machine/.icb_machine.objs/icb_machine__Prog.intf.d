@@ -1,0 +1,1 @@
+lib/machine/prog.mli: Format Instr Value

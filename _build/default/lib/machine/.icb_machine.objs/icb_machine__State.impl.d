@@ -1,0 +1,1 @@
+lib/machine/state.ml: Array Buffer Format Hashtbl Icb_util Int Map Merr Printf Prog Queue Value

@@ -1,0 +1,1 @@
+lib/machine/state.mli: Format Map Merr Prog Value

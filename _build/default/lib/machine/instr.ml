@@ -1,0 +1,111 @@
+type operand =
+  | Reg of int
+  | Imm of Value.t
+
+type objref = { sid : int; sidx : operand }
+
+type prim =
+  | Add | Sub | Mul | Div | Mod | Neg
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or | Not
+  | Min | Max
+
+type t =
+  | Load of { dst : int; gid : int; idx : operand }
+  | Store of { gid : int; idx : operand; src : operand }
+  | Cas of { dst : int; gid : int; idx : operand; expect : operand; update : operand }
+  | Fetch_add of { dst : int; gid : int; idx : operand; delta : operand }
+  | Load_heap of { dst : int; h : operand; idx : operand }
+  | Store_heap of { h : operand; idx : operand; src : operand }
+  | Alloc of { dst : int; size : operand }
+  | Free of { h : operand }
+  | Prim of { dst : int; op : prim; args : operand list }
+  | Mov of { dst : int; src : operand }
+  | Jump of int
+  | Jump_if_zero of { cond : operand; target : int }
+  | Assert of { cond : operand; msg : string }
+  | Lock of objref
+  | Unlock of objref
+  | Wait of objref
+  | Signal of objref
+  | Reset of objref
+  | Sem_acquire of objref
+  | Sem_release of objref
+  | Spawn of { proc : int; args : operand list }
+  | Yield
+  | Atomic_begin
+  | Atomic_end
+  | Halt
+
+type access_class =
+  | Class_local
+  | Class_data
+  | Class_sync
+
+let classify ~volatile = function
+  | Load { gid; _ } | Store { gid; _ } ->
+    if volatile gid then Class_sync else Class_data
+  | Cas _ | Fetch_add _ -> Class_sync
+  | Load_heap _ | Store_heap _ | Alloc _ | Free _ -> Class_data
+  | Prim _ | Mov _ | Jump _ | Jump_if_zero _ | Assert _ -> Class_local
+  | Lock _ | Unlock _ | Wait _ | Signal _ | Reset _
+  | Sem_acquire _ | Sem_release _ | Spawn _ | Yield -> Class_sync
+  | Atomic_begin | Atomic_end | Halt -> Class_local
+
+let is_potentially_blocking = function
+  | Lock _ | Wait _ | Sem_acquire _ -> true
+  | Load _ | Store _ | Cas _ | Fetch_add _ | Load_heap _ | Store_heap _
+  | Alloc _ | Free _ | Prim _ | Mov _ | Jump _ | Jump_if_zero _ | Assert _
+  | Unlock _ | Signal _ | Reset _ | Sem_release _ | Spawn _ | Yield
+  | Atomic_begin | Atomic_end | Halt ->
+    false
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm v -> Value.pp fmt v
+
+let prim_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Neg -> "neg" | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le"
+  | Gt -> "gt" | Ge -> "ge" | And -> "and" | Or -> "or" | Not -> "not"
+  | Min -> "min" | Max -> "max"
+
+let pp_objref fmt { sid; sidx } =
+  Format.fprintf fmt "s%d[%a]" sid pp_operand sidx
+
+let pp fmt i =
+  let f x = Format.fprintf fmt x in
+  match i with
+  | Load { dst; gid; idx } -> f "r%d <- g%d[%a]" dst gid pp_operand idx
+  | Store { gid; idx; src } -> f "g%d[%a] <- %a" gid pp_operand idx pp_operand src
+  | Cas { dst; gid; idx; expect; update } ->
+    f "r%d <- cas g%d[%a] %a %a" dst gid pp_operand idx pp_operand expect
+      pp_operand update
+  | Fetch_add { dst; gid; idx; delta } ->
+    f "r%d <- fetch_add g%d[%a] %a" dst gid pp_operand idx pp_operand delta
+  | Load_heap { dst; h; idx } -> f "r%d <- %a.[%a]" dst pp_operand h pp_operand idx
+  | Store_heap { h; idx; src } ->
+    f "%a.[%a] <- %a" pp_operand h pp_operand idx pp_operand src
+  | Alloc { dst; size } -> f "r%d <- alloc %a" dst pp_operand size
+  | Free { h } -> f "free %a" pp_operand h
+  | Prim { dst; op; args } ->
+    f "r%d <- %s" dst (prim_name op);
+    List.iter (fun a -> f " %a" pp_operand a) args
+  | Mov { dst; src } -> f "r%d <- %a" dst pp_operand src
+  | Jump l -> f "jump %d" l
+  | Jump_if_zero { cond; target } -> f "jz %a %d" pp_operand cond target
+  | Assert { cond; msg } -> f "assert %a %S" pp_operand cond msg
+  | Lock o -> f "lock %a" pp_objref o
+  | Unlock o -> f "unlock %a" pp_objref o
+  | Wait o -> f "wait %a" pp_objref o
+  | Signal o -> f "signal %a" pp_objref o
+  | Reset o -> f "reset %a" pp_objref o
+  | Sem_acquire o -> f "sem_acquire %a" pp_objref o
+  | Sem_release o -> f "sem_release %a" pp_objref o
+  | Spawn { proc; args } ->
+    f "spawn p%d" proc;
+    List.iter (fun a -> f " %a" pp_operand a) args
+  | Yield -> f "yield"
+  | Atomic_begin -> f "atomic_begin"
+  | Atomic_end -> f "atomic_end"
+  | Halt -> f "halt"

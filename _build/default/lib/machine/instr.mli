@@ -1,0 +1,80 @@
+(** The guest instruction set.
+
+    The compiler from the modeling language guarantees the property the
+    paper's semantics needs: every instruction performs at most one access
+    to a shared variable.  Purely thread-local instructions ([Prim], [Mov],
+    [Jump], [Jump_if_zero], [Assert]) are fused into the surrounding step by
+    the interpreter; shared accesses define scheduling points. *)
+
+(** An operand: a local register or an immediate. *)
+type operand =
+  | Reg of int
+  | Imm of Value.t
+
+(** A reference to one synchronization object: index [sidx] within the
+    declared object array [sid] (scalars are arrays of size 1). *)
+type objref = { sid : int; sidx : operand }
+
+type prim =
+  | Add | Sub | Mul | Div | Mod | Neg
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or | Not
+  | Min | Max
+
+type t =
+  (* shared-variable accesses (data by default; sync when the global is
+     declared volatile) *)
+  | Load of { dst : int; gid : int; idx : operand }
+  | Store of { gid : int; idx : operand; src : operand }
+  | Cas of { dst : int; gid : int; idx : operand; expect : operand; update : operand }
+      (** atomic compare-and-swap; [dst] receives the old value.  Always a
+          synchronization access. *)
+  | Fetch_add of { dst : int; gid : int; idx : operand; delta : operand }
+      (** atomic fetch-and-add; [dst] receives the old value.  Always a
+          synchronization access. *)
+  (* model heap (data accesses) *)
+  | Load_heap of { dst : int; h : operand; idx : operand }
+  | Store_heap of { h : operand; idx : operand; src : operand }
+  | Alloc of { dst : int; size : operand }
+  | Free of { h : operand }
+  (* thread-local *)
+  | Prim of { dst : int; op : prim; args : operand list }
+  | Mov of { dst : int; src : operand }
+  | Jump of int
+  | Jump_if_zero of { cond : operand; target : int }
+  | Assert of { cond : operand; msg : string }
+  (* synchronization objects (sync accesses; Lock, Wait and Sem_acquire are
+     the potentially-blocking instructions) *)
+  | Lock of objref
+  | Unlock of objref
+  | Wait of objref
+  | Signal of objref
+  | Reset of objref
+  | Sem_acquire of objref
+  | Sem_release of objref
+  (* control *)
+  | Spawn of { proc : int; args : operand list }
+  | Yield
+  | Atomic_begin
+      (** enter a ZING-style atomic section: no scheduling points until the
+          matching [Atomic_end], except where the thread blocks *)
+  | Atomic_end
+  | Halt
+
+(** Classification used to place scheduling points. *)
+type access_class =
+  | Class_local          (** never a scheduling point *)
+  | Class_data           (** scheduling point only in [Every_access] mode *)
+  | Class_sync           (** always a scheduling point *)
+
+val classify : volatile:(int -> bool) -> t -> access_class
+(** [classify ~volatile i] classifies [i]; [volatile gid] reports whether
+    global [gid] was declared volatile (making its plain loads/stores
+    synchronization accesses). *)
+
+val is_potentially_blocking : t -> bool
+(** [Lock], [Wait] and [Sem_acquire] — the instructions counted by the
+    paper's parameter B. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_operand : Format.formatter -> operand -> unit

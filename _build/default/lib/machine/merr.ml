@@ -1,0 +1,54 @@
+type t =
+  | Assert_failure of { tid : int; msg : string }
+  | Deadlock of { waiting : int list }
+  | Use_after_free of { tid : int; addr : int }
+  | Double_free of { tid : int; addr : int }
+  | Invalid_handle of { tid : int; addr : int }
+  | Out_of_bounds of { tid : int; what : string; idx : int; size : int }
+  | Division_by_zero of { tid : int }
+  | Unlock_not_held of { tid : int; sync : string }
+  | Local_divergence of { tid : int }
+  | Data_race of { var : string; tid1 : int; tid2 : int }
+
+let pp fmt = function
+  | Assert_failure { tid; msg } ->
+    Format.fprintf fmt "assertion failure in thread %d: %s" tid msg
+  | Deadlock { waiting } ->
+    Format.fprintf fmt "deadlock; blocked threads: %s"
+      (String.concat ", " (List.map string_of_int waiting))
+  | Use_after_free { tid; addr } ->
+    Format.fprintf fmt "use after free of &%d in thread %d" addr tid
+  | Double_free { tid; addr } ->
+    Format.fprintf fmt "double free of &%d in thread %d" addr tid
+  | Invalid_handle { tid; addr } ->
+    Format.fprintf fmt "invalid handle &%d in thread %d" addr tid
+  | Out_of_bounds { tid; what; idx; size } ->
+    Format.fprintf fmt "index %d out of bounds for %s (size %d) in thread %d"
+      idx what size tid
+  | Division_by_zero { tid } ->
+    Format.fprintf fmt "division by zero in thread %d" tid
+  | Unlock_not_held { tid; sync } ->
+    Format.fprintf fmt "thread %d unlocked %s without holding it" tid sync
+  | Local_divergence { tid } ->
+    Format.fprintf fmt
+      "thread %d executed too many local instructions without a shared access"
+      tid
+  | Data_race { var; tid1; tid2 } ->
+    Format.fprintf fmt "data race on %s between threads %d and %d" var tid1 tid2
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Thread identifiers are left out of the key on purpose: the same program
+   bug found under a different interleaving (hence with different tids in
+   the report) must deduplicate to one bug. *)
+let key = function
+  | Assert_failure { msg; _ } -> "assert:" ^ msg
+  | Deadlock _ -> "deadlock"
+  | Use_after_free _ -> "use-after-free"
+  | Double_free _ -> "double-free"
+  | Invalid_handle _ -> "invalid-handle"
+  | Out_of_bounds { what; _ } -> "out-of-bounds:" ^ what
+  | Division_by_zero _ -> "div-by-zero"
+  | Unlock_not_held { sync; _ } -> "unlock-not-held:" ^ sync
+  | Local_divergence _ -> "local-divergence"
+  | Data_race { var; _ } -> "race:" ^ var

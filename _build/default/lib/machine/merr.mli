@@ -1,0 +1,27 @@
+(** Errors detectable by the machine during execution.
+
+    Data races are not produced here — the interpreter reports the raw
+    access log of each step and race checking lives in the [icb.race]
+    library, layered above. *)
+
+type t =
+  | Assert_failure of { tid : int; msg : string }
+  | Deadlock of { waiting : int list }
+      (** no thread is enabled, yet some have not terminated *)
+  | Use_after_free of { tid : int; addr : int }
+  | Double_free of { tid : int; addr : int }
+  | Invalid_handle of { tid : int; addr : int }
+  | Out_of_bounds of { tid : int; what : string; idx : int; size : int }
+  | Division_by_zero of { tid : int }
+  | Unlock_not_held of { tid : int; sync : string }
+  | Local_divergence of { tid : int }
+      (** a step executed more thread-local instructions than the fuel
+          bound; the thread loops without touching shared state *)
+  | Data_race of { var : string; tid1 : int; tid2 : int }
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val key : t -> string
+(** A stable, trace-independent identity for deduplicating bug reports:
+    same constructor and same program location data yield the same key. *)

@@ -1,0 +1,1 @@
+lib/models/ape.ml: Icb List Printf String

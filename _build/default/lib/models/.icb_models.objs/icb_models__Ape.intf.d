@@ -1,0 +1,1 @@
+lib/models/ape.mli: Icb_machine

@@ -1,0 +1,1 @@
+lib/models/bluetooth.ml: Icb String

@@ -1,0 +1,1 @@
+lib/models/bluetooth.mli: Icb_machine

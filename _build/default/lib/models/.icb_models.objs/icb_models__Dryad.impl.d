@@ -1,0 +1,1 @@
+lib/models/dryad.ml: Icb List Printf String

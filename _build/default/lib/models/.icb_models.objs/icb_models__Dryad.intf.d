@@ -1,0 +1,1 @@
+lib/models/dryad.mli: Icb_machine

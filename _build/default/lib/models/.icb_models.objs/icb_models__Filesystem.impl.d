@@ -1,0 +1,1 @@
+lib/models/filesystem.ml: Icb Printf

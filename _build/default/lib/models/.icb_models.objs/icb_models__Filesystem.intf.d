@@ -1,0 +1,1 @@
+lib/models/filesystem.mli: Icb_machine

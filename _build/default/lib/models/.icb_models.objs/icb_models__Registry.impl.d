@@ -1,0 +1,1 @@
+lib/models/registry.ml: Ape Bluetooth Dryad Filesystem Icb_machine List String Transaction Workstealing

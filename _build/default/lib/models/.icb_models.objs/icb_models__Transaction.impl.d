@@ -1,0 +1,1 @@
+lib/models/transaction.ml: Icb Printf String

@@ -1,0 +1,1 @@
+lib/models/transaction.mli: Icb_machine

@@ -1,0 +1,1 @@
+lib/models/workstealing.ml: Icb Printf String

@@ -1,0 +1,1 @@
+lib/models/workstealing.mli: Icb_machine

@@ -1,0 +1,153 @@
+type variant =
+  | Correct
+  | Bug_missing_join
+  | Bug_auto_reset_start
+  | Bug_lost_completion
+  | Bug_unlocked_claim
+
+let variants =
+  [ Correct; Bug_missing_join; Bug_auto_reset_start; Bug_lost_completion;
+    Bug_unlocked_claim ]
+
+let variant_name = function
+  | Correct -> "correct"
+  | Bug_missing_join -> "missing-join"
+  | Bug_auto_reset_start -> "auto-reset-start"
+  | Bug_lost_completion -> "lost-completion"
+  | Bug_unlocked_claim -> "unlocked-claim"
+
+let header ~auto_start =
+  Printf.sprintf
+    {|
+// APE: the environment is a heap object; workers claim work items from a
+// small free stack, touch the environment, and report completion.
+var envH: handle;
+volatile var completed: int = 0;
+volatile var freeHead: int = 1;     // indices 1 down to 0 are free items
+volatile var inUse[2]: int;
+mutex claimLock;
+event %sstartEv;
+event manual flushEv;
+event manual flushDoneEv;
+sem doneSem = 0;
+|}
+    (if auto_start then "" else "manual ")
+
+(* Claiming a work item: pop the top of the free stack.  The correct code
+   holds the claim lock across the read-decrement pair. *)
+let claim_correct =
+  {|
+  var i: int;
+  lock(claimLock);
+  i = freeHead;
+  freeHead = i - 1;
+  unlock(claimLock);
+|}
+
+let claim_unlocked =
+  {|
+  var i: int;
+  i = freeHead;
+  freeHead = i - 1;
+|}
+
+let completion_correct =
+  {|
+  var c: int;
+  c = fetch_add(completed, 1);
+|}
+
+let completion_lost =
+  {|
+  var c: int;
+  c = completed;
+  completed = c + 1;
+|}
+
+let worker ~claim ~completion =
+  Printf.sprintf
+    {|
+proc worker(id: int) {
+  wait(startEv);
+%s
+  if (i >= 0) {
+    var old: int;
+    old = fetch_add(inUse[i], 1);
+    assert(old == 0, "work item claimed twice concurrently");
+    // process: read the environment magic, record our visit
+    var h: handle = envH;
+    var e: int = h[0];
+    assert(e == 42, "environment not initialized");
+    h[id] = e + id;
+    old = fetch_add(inUse[i], -1);
+  }
+%s
+  release(doneSem);
+}
+|}
+    claim completion
+
+(* The debug-log flusher: APE's debugging support runs a housekeeping
+   thread that drains the log when the environment shuts down. *)
+let flusher =
+  {|
+proc flusher() {
+  wait(flushEv);
+  var h: handle = envH;
+  var e: int = h[0];
+  assert(e == 42, "flushed a torn-down environment log");
+  signal(flushDoneEv);
+}
+|}
+
+let main_driver ~joins ~check_completions =
+  Printf.sprintf
+    {|
+main {
+  var h: handle;
+  h = alloc(3);
+  h[0] = 42;
+  envH = h;
+  spawn worker(1);
+  spawn worker(2);
+  spawn flusher();
+  signal(startEv);
+%s%s
+  signal(flushEv);
+  wait(flushDoneEv);
+  free(h);
+}
+|}
+    (String.concat "" (List.init joins (fun _ -> "  acquire(doneSem);\n")))
+    (if check_completions then
+       {|  var done_: int;
+  done_ = completed;
+  assert(done_ == 2, "a completion was lost");
+|}
+     else "")
+
+let source variant =
+  let auto_start = variant = Bug_auto_reset_start in
+  let claim =
+    match variant with
+    | Bug_unlocked_claim -> claim_unlocked
+    | Correct | Bug_missing_join | Bug_auto_reset_start | Bug_lost_completion
+      -> claim_correct
+  in
+  let completion =
+    match variant with
+    | Bug_lost_completion -> completion_lost
+    | Correct | Bug_missing_join | Bug_auto_reset_start | Bug_unlocked_claim
+      -> completion_correct
+  in
+  let joins = if variant = Bug_missing_join then 1 else 2 in
+  let check_completions = variant = Bug_lost_completion in
+  String.concat ""
+    [
+      header ~auto_start;
+      worker ~claim ~completion;
+      flusher;
+      main_driver ~joins ~check_completions;
+    ]
+
+let program variant = Icb.compile (source variant)

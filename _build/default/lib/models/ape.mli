@@ -1,0 +1,39 @@
+(** The APE model — Asynchronous Processing Environment (paper
+    Section 4.1).
+
+    The paper checked a Windows component providing structure and
+    debugging support to asynchronous multithreaded code: a main thread
+    initializes the environment's data structures, creates two worker
+    threads, and waits for them to finish, while the workers exercise the
+    interface (claiming work items, touching the environment, reporting
+    completion).  We rebuild that structure as a model: the environment is
+    a heap object, work items are claimed from a free stack, completions
+    are counted.
+
+    The paper found 4 previously unknown bugs in APE: two in executions
+    with zero preemptions, one with one, one with two (Table 2).  The
+    seeded bugs here reproduce those classes: *)
+
+type variant =
+  | Correct
+  | Bug_missing_join
+      (** the main thread tears the environment down after waiting for
+          only one of the two completion signals — the other worker uses
+          the freed environment; needs no preemption at all *)
+  | Bug_auto_reset_start
+      (** the start event is auto-reset where manual-reset is needed: one
+          worker consumes the only signal and the other waits forever —
+          deadlock with zero preemptions *)
+  | Bug_lost_completion
+      (** the completion counter is updated by a non-atomic
+          read-then-write; one preemption between them loses an update *)
+  | Bug_unlocked_claim
+      (** work items are claimed from the free stack without the claim
+          lock; two preemptions overlap two claims of the same item while
+          the first is still in use *)
+
+val variants : variant list
+val variant_name : variant -> string
+
+val source : variant -> string
+val program : variant -> Icb_machine.Prog.t

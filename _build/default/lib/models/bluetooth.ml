@@ -1,0 +1,87 @@
+let header =
+  {|
+// Bluetooth PnP driver model: a worker thread dispatches I/O requests
+// while a stopper thread performs PnP stop.  pendingIo counts in-flight
+// references (1 for the driver itself); the last reference out signals
+// stopEv, after which the stopper marks the driver stopped.
+var pendingIo: int = 1;
+volatile var stoppingFlag: bool = false;
+volatile var stopped: bool = false;
+mutex m;
+event manual stopEv;
+|}
+
+(* The shipped driver checks stoppingFlag before taking a reference, but
+   takes the reference only afterwards — a classic check-then-act. *)
+let buggy_adder =
+  {|
+proc adder() {
+  var added: bool = false;
+  if (!stoppingFlag) {
+    // XXX a preemption here lets the stopper finish first
+    lock(m);
+    pendingIo = pendingIo + 1;
+    unlock(m);
+    added = true;
+  }
+  if (added) {
+    // the driver is supposedly alive here: process the I/O request
+    assert(!stopped, "I/O processed after the driver stopped");
+    var p: int;
+    lock(m);
+    pendingIo = pendingIo - 1;
+    p = pendingIo;
+    unlock(m);
+    if (p == 0) { signal(stopEv); }
+  }
+}
+|}
+
+(* The repaired driver takes the reference under the same lock that guards
+   the flag check, so the stopper can only win before the check. *)
+let fixed_adder =
+  {|
+proc adder() {
+  var added: bool = false;
+  lock(m);
+  if (!stoppingFlag) {
+    pendingIo = pendingIo + 1;
+    added = true;
+  }
+  unlock(m);
+  if (added) {
+    assert(!stopped, "I/O processed after the driver stopped");
+    var p: int;
+    lock(m);
+    pendingIo = pendingIo - 1;
+    p = pendingIo;
+    unlock(m);
+    if (p == 0) { signal(stopEv); }
+  }
+}
+|}
+
+let rest =
+  {|
+proc stopper() {
+  var p: int;
+  stoppingFlag = true;
+  lock(m);
+  pendingIo = pendingIo - 1;
+  p = pendingIo;
+  unlock(m);
+  if (p == 0) { signal(stopEv); }
+  wait(stopEv);
+  stopped = true;
+}
+
+main {
+  spawn adder();
+  spawn stopper();
+}
+|}
+
+let source ~bug =
+  String.concat "" [ header; (if bug then buggy_adder else fixed_adder); rest ]
+
+let program ~bug = Icb.compile (source ~bug)

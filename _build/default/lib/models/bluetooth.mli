@@ -1,0 +1,14 @@
+(** The Bluetooth PnP driver model (paper Section 4.1).
+
+    A worker thread tries to enter the driver while a stopper thread stops
+    it.  The classic bug — the paper's single Bluetooth bug, exposed at
+    preemption bound 1 — is the unsynchronized check of [stoppingFlag]
+    before taking a fresh I/O reference: preempting the worker between the
+    check and the increment lets the stopper complete and mark the driver
+    stopped, after which the worker processes I/O on a stopped driver. *)
+
+val source : bug:bool -> string
+(** Model source; [bug:true] is the shipped (buggy) driver, [bug:false]
+    the repaired one that takes the reference under the lock. *)
+
+val program : bug:bool -> Icb_machine.Prog.t

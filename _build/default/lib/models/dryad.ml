@@ -1,0 +1,218 @@
+type variant =
+  | Correct
+  | Bug_auto_reset_stop
+  | Bug_close_waits_ack
+  | Bug_nonatomic_refcount
+  | Bug_double_release
+  | Bug_unlocked_send
+
+let variants =
+  [ Correct; Bug_auto_reset_stop; Bug_close_waits_ack; Bug_nonatomic_refcount;
+    Bug_double_release; Bug_unlocked_send ]
+
+let variant_name = function
+  | Correct -> "correct"
+  | Bug_auto_reset_stop -> "auto-reset-stop"
+  | Bug_close_waits_ack -> "close-waits-ack"
+  | Bug_nonatomic_refcount -> "nonatomic-refcount"
+  | Bug_double_release -> "double-release"
+  | Bug_unlocked_send -> "unlocked-send"
+
+(* Channel heap layout: [0] processed-item counter (workers, under baseCS),
+   [1] and [2] the per-sender buffer slots (senders and drain, under
+   baseCS). *)
+let header ~auto_stop ~refcount =
+  Printf.sprintf
+    {|
+// Dryad shared-memory channel: two senders, two channel worker threads,
+// and the main thread driving the close/teardown protocol.
+var chanH: handle;
+volatile var chanState: int = 0;   // 0 open, 1 closed
+%smutex baseCS;
+event %sstopEv;
+event ackEv[2];
+sem doneSem = 0;
+|}
+    (match refcount with
+    | None -> ""
+    | Some n -> Printf.sprintf "volatile var rc: int = %d;\n" n)
+    (if auto_stop then "" else "manual ")
+
+let sender ~locked_check ~decref =
+  let body =
+    if locked_check then
+      {|  lock(baseCS);
+  var s: int = chanState;
+  if (s == 0) {
+    h[1 + id] = 7 + id;
+  }
+  unlock(baseCS);|}
+    else
+      {|  var s: int = chanState;
+  if (s == 0) {
+    // XXX the channel can be closed and drained right here
+    lock(baseCS);
+    h[1 + id] = 7 + id;
+    unlock(baseCS);
+  }|}
+  in
+  let release_ref =
+    if decref then "  var t0: int;\n  t0 = fetch_add(rc, -1);\n" else ""
+  in
+  Printf.sprintf
+    {|
+proc sender(id: int) {
+  var h: handle = chanH;
+%s
+%s  release(doneSem);
+}
+|}
+    body release_ref
+
+(* decref: how a worker releases its channel reference at the end. *)
+type worker_release =
+  | Release_none
+  | Release_nonatomic       (* t = rc; rc = t - 1 — before the done signal *)
+  | Release_free_if_last    (* atomic; frees the channel — after the done signal *)
+
+let worker ~release =
+  let cleanup =
+    match release with
+    | Release_none -> "  release(doneSem);"
+    | Release_nonatomic ->
+      {|  var t: int;
+  t = rc;
+  rc = t - 1;
+  release(doneSem);|}
+    | Release_free_if_last ->
+      {|  release(doneSem);
+  var t: int;
+  t = fetch_add(rc, -1);
+  if (t == 1) {
+    free(h);
+  }|}
+  in
+  Printf.sprintf
+    {|
+proc worker(id: int) {
+  var h: handle = chanH;
+  wait(stopEv);
+  signal(ackEv[id]);
+  // AlertApplication: note the channel pointer is still in use here
+  lock(baseCS);
+  var x: int = h[0];
+  h[0] = x + 1;
+  unlock(baseCS);
+%s
+}
+|}
+    cleanup
+
+type main_join =
+  | Join_done_sem           (* wait for all four completions *)
+  | Join_acks_only          (* the Figure 3 bug: acks are not completions *)
+
+type main_teardown =
+  | Teardown_free           (* plain free *)
+  | Teardown_assert_rc      (* check the reference count settled, then free *)
+  | Teardown_free_if_refs   (* check-then-act against worker self-release *)
+
+let main_driver ~join ~teardown ~check_drain =
+  let joins =
+    match join with
+    | Join_done_sem ->
+      String.concat "" (List.init 4 (fun _ -> "  acquire(doneSem);\n"))
+    | Join_acks_only -> "  wait(ackEv[0]);\n  wait(ackEv[1]);\n"
+  in
+  let drain_check =
+    if check_drain then
+      {|  var s1: int = h[1];
+  var s2: int = h[2];
+  assert(s1 == -999 && s2 == -999, "item sent to a closed channel");
+|}
+    else ""
+  in
+  let teardown_code =
+    match teardown with
+    | Teardown_free -> "  free(h);"
+    | Teardown_assert_rc ->
+      {|  var r: int;
+  r = rc;
+  assert(r == 1, "channel reference count corrupted");
+  free(h);|}
+    | Teardown_free_if_refs ->
+      {|  var r: int;
+  r = rc;
+  if (r > 0) {
+    free(h);
+  }|}
+  in
+  Printf.sprintf
+    {|
+main {
+  var h: handle;
+  h = alloc(3);
+  chanH = h;
+  spawn sender(0);
+  spawn sender(1);
+  spawn worker(0);
+  spawn worker(1);
+  // Close(): mark closed and drain the buffer slots
+  lock(baseCS);
+  chanState = 1;
+  h[1] = -999;
+  h[2] = -999;
+  unlock(baseCS);
+  signal(stopEv);
+%s%s%s
+}
+|}
+    joins drain_check teardown_code
+
+let source variant =
+  let auto_stop = variant = Bug_auto_reset_stop in
+  let refcount =
+    match variant with
+    | Bug_nonatomic_refcount -> Some 5
+    | Bug_double_release -> Some 2
+    | Correct | Bug_auto_reset_stop | Bug_close_waits_ack | Bug_unlocked_send
+      -> None
+  in
+  let locked_check = variant <> Bug_unlocked_send in
+  let release =
+    match variant with
+    | Bug_nonatomic_refcount -> Release_nonatomic
+    | Bug_double_release -> Release_free_if_last
+    | Correct | Bug_auto_reset_stop | Bug_close_waits_ack | Bug_unlocked_send
+      -> Release_none
+  in
+  let join =
+    match variant with
+    | Bug_close_waits_ack -> Join_acks_only
+    | Correct | Bug_auto_reset_stop | Bug_nonatomic_refcount
+    | Bug_double_release | Bug_unlocked_send -> Join_done_sem
+  in
+  let teardown =
+    match variant with
+    | Bug_nonatomic_refcount -> Teardown_assert_rc
+    | Bug_double_release -> Teardown_free_if_refs
+    | Correct | Bug_auto_reset_stop | Bug_close_waits_ack | Bug_unlocked_send
+      -> Teardown_free
+  in
+  let check_drain =
+    match variant with
+    | Correct | Bug_unlocked_send -> true
+    | Bug_auto_reset_stop | Bug_close_waits_ack | Bug_nonatomic_refcount
+    | Bug_double_release -> false
+  in
+  (* senders in the nonatomic-refcount variant also hold a reference *)
+  let sender_decref = variant = Bug_nonatomic_refcount in
+  String.concat ""
+    [
+      header ~auto_stop ~refcount;
+      sender ~locked_check ~decref:sender_decref;
+      worker ~release;
+      main_driver ~join ~teardown ~check_drain;
+    ]
+
+let program variant = Icb.compile (source variant)

@@ -1,0 +1,46 @@
+(** The Dryad channel-library model (paper Section 4.1 and Figure 3).
+
+    Dryad's shared-memory channel connects data-flow vertices; the test the
+    paper ran (5 threads, provided by Dryad's lead developer) exercises the
+    channel's send path, its close/drain protocol, and the worker threads'
+    cleanup.  Our model: the channel is a heap object with a state flag, a
+    processed-items counter and per-sender buffer slots, protected by the
+    [baseCS] critical section; two sender threads send one item each; two
+    worker threads receive a STOP broadcast, acknowledge it, and run their
+    [AlertApplication] cleanup inside [baseCS]; the main thread closes and
+    tears down the channel, with lifetime managed by an atomic reference
+    count.
+
+    The paper found 5 previously unknown bugs in the Dryad channels, one
+    needing zero preemptions, four needing one (Table 2); Figure 3 details
+    the use-after-free, which needs exactly one preemption — right before
+    [EnterCriticalSection] in [AlertApplication] — plus six non-preempting
+    context switches. *)
+
+type variant =
+  | Correct
+  | Bug_auto_reset_stop
+      (** STOP is broadcast through an auto-reset event: only one worker
+          wakes; deadlock with zero preemptions *)
+  | Bug_close_waits_ack
+      (** [Close] returns once the workers acknowledge the STOP, wrongly
+          assuming that means they are finished; deleting the channel then
+          races with [AlertApplication] — the paper's Figure 3
+          use-after-free *)
+  | Bug_nonatomic_refcount
+      (** workers release their channel reference with a non-atomic
+          read-then-write; one preemption loses a decrement *)
+  | Bug_double_release
+      (** the main thread's teardown checks the reference count and frees
+          in two separate steps; a worker's release can slip in between and
+          free first *)
+  | Bug_unlocked_send
+      (** the send path checks the channel state without entering
+          [baseCS]; the channel can be closed and drained between the
+          check and the buffer write *)
+
+val variants : variant list
+val variant_name : variant -> string
+
+val source : variant -> string
+val program : variant -> Icb_machine.Prog.t

@@ -1,0 +1,52 @@
+let default_threads = 3
+
+(* NINODE inodes and NBLOCK blocks, each guarded by its own mutex.  A
+   worker picks the inode [tid mod NINODE]; if it is unallocated, the
+   worker scans for a free block starting at a deterministic position and
+   allocates it.  Invariant checked: an inode's block is allocated to
+   exactly one inode (no double allocation). *)
+let source ~threads =
+  Printf.sprintf
+    {|
+// File-system model: inode and block allocation under per-object locks.
+var inode[2]: int;      // 0 = free, otherwise block index + 1
+var busy[2]: bool;      // block allocation map
+var owner[2]: int;      // which inode an allocated block belongs to
+mutex locki[2];
+mutex lockb[2];
+
+proc creat(tid: int) {
+  var i: int = tid %% 2;
+  lock(locki[i]);
+  if (inode[i] == 0) {
+    var b: int = (i * 7) %% 2;
+    var searching: bool = true;
+    var tries: int = 0;
+    while (searching && tries < 2) {
+      lock(lockb[b]);
+      if (!busy[b]) {
+        busy[b] = true;
+        assert(owner[b] == 0, "block allocated twice");
+        owner[b] = i + 1;
+        inode[i] = b + 1;
+        searching = false;
+      }
+      unlock(lockb[b]);
+      b = (b + 1) %% 2;
+      tries = tries + 1;
+    }
+  }
+  unlock(locki[i]);
+}
+
+main {
+  var t: int = 0;
+  while (t < %d) {
+    spawn creat(t);
+    t = t + 1;
+  }
+}
+|}
+    threads
+
+let program ~threads = Icb.compile (source ~threads)

@@ -1,0 +1,16 @@
+(** The file-system model (paper Section 4.1), derived from the model of
+    Flanagan and Godefroid's dynamic partial-order-reduction paper (their
+    Figure 7): threads create files, searching for a free inode and then a
+    free block, each protected by its own lock.
+
+    The model is race- and bug-free; the paper uses it (84 LOC, 4 threads)
+    for the state-coverage experiment of Figure 4, where its full state
+    space is covered by executions with at most 4 preemptions. *)
+
+val source : threads:int -> string
+(** [threads] worker threads (the paper's driver uses 3 workers plus the
+    main thread). *)
+
+val program : threads:int -> Icb_machine.Prog.t
+
+val default_threads : int

@@ -1,0 +1,104 @@
+type variant =
+  | Correct
+  | Bug_check_before_set
+  | Bug_turn_before_flag
+
+let variants = [ Correct; Bug_check_before_set; Bug_turn_before_flag ]
+
+let variant_name = function
+  | Correct -> "correct"
+  | Bug_check_before_set -> "check-before-set"
+  | Bug_turn_before_flag -> "turn-before-flag"
+
+let header =
+  {|
+// Peterson's algorithm for two threads, with a bounded contention spin.
+volatile var flag[2]: bool;
+volatile var turn: int = 0;
+volatile var inCS: int = 0;
+volatile var completed: int = 0;
+event manual d0;
+event manual d1;
+|}
+
+(* The critical section body: entry counter checked for overlap. *)
+let critical_section =
+  {|
+    var old: int;
+    old = fetch_add(inCS, 1);
+    assert(old == 0, "mutual exclusion violated");
+    old = fetch_add(inCS, -1);
+    old = fetch_add(completed, 1);
+|}
+
+let enter = function
+  | Correct ->
+    {|
+  flag[id] = true;
+  turn = 1 - id;
+  var tries: int = 0;
+  var entered: bool = false;
+  while (tries < 4 && !entered) {
+    var f: bool = flag[1 - id];
+    var t: int = turn;
+    if (!f || t == id) {
+      entered = true;
+    } else {
+      yield;
+      tries = tries + 1;
+    }
+  }
+|}
+  | Bug_check_before_set ->
+    {|
+  var f: bool = flag[1 - id];
+  var entered: bool = false;
+  if (!f) {
+    flag[id] = true;
+    entered = true;
+  }
+|}
+  | Bug_turn_before_flag ->
+    (* giving the turn away before raising the flag looks equivalent but
+       is not: the contender can cede the turn back and sail past a
+       still-lowered flag *)
+    {|
+  turn = 1 - id;
+  flag[id] = true;
+  var tries: int = 0;
+  var entered: bool = false;
+  while (tries < 4 && !entered) {
+    var f: bool = flag[1 - id];
+    var t: int = turn;
+    if (!f || t == id) {
+      entered = true;
+    } else {
+      yield;
+      tries = tries + 1;
+    }
+  }
+|}
+
+let source variant =
+  Printf.sprintf
+    {|
+%s
+proc worker(id: int) {
+%s
+  if (entered) {
+%s
+    flag[id] = false;
+  }
+  if (id == 0) { signal(d0); } else { signal(d1); }
+}
+
+main {
+  spawn worker(0);
+  spawn worker(1);
+  wait(d0);
+  wait(d1);
+}
+|}
+    header (enter variant) critical_section
+
+let program variant = Icb.compile (source variant)

@@ -1,0 +1,23 @@
+(** Peterson's mutual-exclusion algorithm — an extra model beyond the
+    paper's benchmark suite, exercising volatile variables, bounded
+    contention spins and the checker's ability to verify (not just
+    falsify) a lock-free protocol.
+
+    The spin is bounded (a thread gives up after a few polls and reports
+    starvation rather than looping), which keeps the state space acyclic
+    so every strategy — including the stateless ones — terminates. *)
+
+type variant =
+  | Correct
+  | Bug_check_before_set
+      (** each thread polls the other's flag before raising its own: both
+          can pass the check and enter together *)
+  | Bug_turn_before_flag
+      (** the turn is ceded before the flag is raised; the contender can
+          cede it back and pass the still-lowered flag — both enter *)
+
+val variants : variant list
+val variant_name : variant -> string
+
+val source : variant -> string
+val program : variant -> Icb_machine.Prog.t

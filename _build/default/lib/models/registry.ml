@@ -1,0 +1,157 @@
+type bug_spec = {
+  bug_name : string;
+  expected_bound : int;
+  previously_known : bool;
+  bug_program : unit -> Icb_machine.Prog.t;
+}
+
+type entry = {
+  model_name : string;
+  paper_threads : int;
+  correct_program : (unit -> Icb_machine.Prog.t) option;
+  correct_source : string option;
+  bugs : bug_spec list;
+  in_table1 : bool;
+}
+
+let bluetooth =
+  {
+    model_name = "Bluetooth";
+    paper_threads = 3;
+    correct_program = Some (fun () -> Bluetooth.program ~bug:false);
+    correct_source = Some (Bluetooth.source ~bug:false);
+    bugs =
+      [
+        {
+          bug_name = "check-then-add-reference";
+          expected_bound = 1;
+          previously_known = true;
+          bug_program = (fun () -> Bluetooth.program ~bug:true);
+        };
+      ];
+    in_table1 = true;
+  }
+
+let filesystem =
+  {
+    model_name = "File System Model";
+    paper_threads = 4;
+    correct_program =
+      Some (fun () -> Filesystem.program ~threads:Filesystem.default_threads);
+    correct_source =
+      Some (Filesystem.source ~threads:Filesystem.default_threads);
+    bugs = [];
+    in_table1 = true;
+  }
+
+let wsq_bug name expected variant =
+  {
+    bug_name = name;
+    expected_bound = expected;
+    previously_known = true;
+    bug_program = (fun () -> Workstealing.program variant);
+  }
+
+let workstealing =
+  {
+    model_name = "Work Stealing Queue";
+    paper_threads = 3;
+    correct_program = Some (fun () -> Workstealing.program Workstealing.Correct);
+    correct_source = Some (Workstealing.source Workstealing.Correct);
+    bugs =
+      [
+        wsq_bug "pop-reads-head-first" 1 Workstealing.Bug_pop_reads_head_first;
+        wsq_bug "unlocked-steal" 2 Workstealing.Bug_unlocked_steal;
+        wsq_bug "steal-missing-wraparound" 2
+          Workstealing.Bug_steal_missing_wraparound;
+      ];
+    in_table1 = true;
+  }
+
+let tx_bug name expected variant =
+  {
+    bug_name = name;
+    expected_bound = expected;
+    previously_known = true;
+    bug_program = (fun () -> Transaction.program variant);
+  }
+
+let transaction =
+  {
+    model_name = "Transaction Manager";
+    paper_threads = 3;
+    correct_program = Some (fun () -> Transaction.program Transaction.Correct);
+    correct_source = Some (Transaction.source Transaction.Correct);
+    bugs =
+      [
+        tx_bug "split-flush" 2 Transaction.Bug_split_flush;
+        tx_bug "stale-entry" 2 Transaction.Bug_stale_entry;
+        tx_bug "deferred-flush" 3 Transaction.Bug_deferred_flush;
+      ];
+    in_table1 = false;
+  }
+
+let ape_bug name expected variant =
+  {
+    bug_name = name;
+    expected_bound = expected;
+    previously_known = false;
+    bug_program = (fun () -> Ape.program variant);
+  }
+
+let ape =
+  {
+    model_name = "APE";
+    paper_threads = 4;
+    correct_program = Some (fun () -> Ape.program Ape.Correct);
+    correct_source = Some (Ape.source Ape.Correct);
+    bugs =
+      [
+        ape_bug "missing-join" 0 Ape.Bug_missing_join;
+        ape_bug "auto-reset-start" 0 Ape.Bug_auto_reset_start;
+        ape_bug "lost-completion" 1 Ape.Bug_lost_completion;
+        ape_bug "unlocked-claim" 2 Ape.Bug_unlocked_claim;
+      ];
+    in_table1 = true;
+  }
+
+let dryad_bug name expected variant =
+  {
+    bug_name = name;
+    expected_bound = expected;
+    previously_known = false;
+    bug_program = (fun () -> Dryad.program variant);
+  }
+
+let dryad =
+  {
+    model_name = "Dryad Channels";
+    paper_threads = 5;
+    correct_program = Some (fun () -> Dryad.program Dryad.Correct);
+    correct_source = Some (Dryad.source Dryad.Correct);
+    bugs =
+      [
+        dryad_bug "auto-reset-stop" 0 Dryad.Bug_auto_reset_stop;
+        dryad_bug "close-waits-ack (Fig 3 use-after-free)" 1
+          Dryad.Bug_close_waits_ack;
+        dryad_bug "nonatomic-refcount" 1 Dryad.Bug_nonatomic_refcount;
+        dryad_bug "double-release" 1 Dryad.Bug_double_release;
+        dryad_bug "unlocked-send" 1 Dryad.Bug_unlocked_send;
+      ];
+    in_table1 = true;
+  }
+
+let all = [ bluetooth; filesystem; workstealing; transaction; ape; dryad ]
+
+let find name =
+  List.find (fun e -> String.equal e.model_name name) all
+
+let total_bugs = List.fold_left (fun n e -> n + List.length e.bugs) 0 all
+
+let loc_of_source src =
+  let lines = String.split_on_char '\n' src in
+  let is_code line =
+    let t = String.trim line in
+    t <> "" && not (String.length t >= 2 && t.[0] = '/' && t.[1] = '/')
+  in
+  List.length (List.filter is_code lines)

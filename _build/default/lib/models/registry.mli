@@ -1,0 +1,35 @@
+(** Central index of the benchmark suite: every model, its correct and
+    buggy variants, and the bound at which the paper (and our
+    reproduction) expects each bug — the data behind Tables 1 and 2. *)
+
+type bug_spec = {
+  bug_name : string;
+  expected_bound : int;   (** Table 2: exact preemption bound exposing it *)
+  previously_known : bool; (** the 7 seeded vs the 9 newly found bugs *)
+  bug_program : unit -> Icb_machine.Prog.t;
+}
+
+type entry = {
+  model_name : string;
+  paper_threads : int;        (** Table 1's "Max Num Threads" *)
+  correct_program : (unit -> Icb_machine.Prog.t) option;
+      (** None when the paper's benchmark has no bug-free variant in our
+          suite *)
+  correct_source : string option;
+  bugs : bug_spec list;
+  in_table1 : bool;           (** the transaction manager is ZING-only and
+                                  absent from Table 1 *)
+}
+
+val all : entry list
+(** Bluetooth, file system model, work-stealing queue, transaction
+    manager, APE, Dryad channels — in the paper's order. *)
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val total_bugs : int
+
+val loc_of_source : string -> int
+(** Non-blank, non-comment-only lines — the LOC counting used for
+    Table 1. *)

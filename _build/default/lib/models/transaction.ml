@@ -1,0 +1,251 @@
+type variant =
+  | Correct
+  | Bug_split_flush
+  | Bug_stale_entry
+  | Bug_deferred_flush
+
+let variants = [ Correct; Bug_split_flush; Bug_stale_entry; Bug_deferred_flush ]
+
+let variant_name = function
+  | Correct -> "correct"
+  | Bug_split_flush -> "split-flush"
+  | Bug_stale_entry -> "stale-entry"
+  | Bug_deferred_flush -> "deferred-flush"
+
+(* Three transactions hash into two bucket slots (tx 0 and tx 2 share slot
+   0).  Transaction 0 is created with an already-near deadline so the
+   timer's first tick can flush it; the others never time out. *)
+let header =
+  {|
+// Transaction manager: a bucketed table of in-flight transactions with
+// per-bucket locks, a mutator thread and a timeout-flushing timer thread.
+var bucket[2]: int;       // slot contents: tx id + 1; 0 = empty
+var txState[3]: int;      // 0 absent, 1 in-flight, 2 committed, 3 flushed
+var deadline[3]: int;
+volatile var now: int = 1;
+mutex lockb[2];
+volatile var gen: int = 0;
+event manual doneW;
+|}
+
+let create ~tx ~dl =
+  let slot = tx mod 2 in
+  Printf.sprintf
+    {|
+  // create transaction %d
+  lock(lockb[%d]);
+  assert(bucket[%d] == 0, "hash collision on create");
+  deadline[%d] = %d;
+  bucket[%d] = %d;
+  txState[%d] = 1;
+  unlock(lockb[%d]);
+|}
+    tx slot slot tx dl slot (tx + 1) tx slot
+
+let commit ~tx =
+  let slot = tx mod 2 in
+  Printf.sprintf
+    {|
+  // commit transaction %d (skip if the timer flushed it first)
+  lock(lockb[%d]);
+  if (bucket[%d] == %d) {
+    bucket[%d] = 0;
+    assert(txState[%d] == 1, "committed a non-live transaction");
+    txState[%d] = 2;
+  }
+  unlock(lockb[%d]);
+|}
+    tx slot slot (tx + 1) slot tx tx slot
+
+let worker_standard =
+  Printf.sprintf
+    {|
+proc worker() {
+%s%s%s%s%s
+  signal(doneW);
+}
+|}
+    (create ~tx:0 ~dl:1)
+    (create ~tx:1 ~dl:99)
+    (commit ~tx:0)
+    (create ~tx:2 ~dl:99)
+    (commit ~tx:1)
+
+(* The deferred-flush harness: the client creates a transaction with a
+   near deadline, then refreshes the deadline and publishes the mutation
+   batch (gen), and finally checks the refreshed transaction is still
+   live. *)
+let worker_deferred =
+  Printf.sprintf
+    {|
+proc worker() {
+%s
+  // refresh: extend the deadline, then publish the batch
+  lock(lockb[0]);
+  deadline[0] = 99;
+  unlock(lockb[0]);
+  gen = 1;
+  var s: int = 0;
+  lock(lockb[0]);
+  s = txState[0];
+  unlock(lockb[0]);
+  assert(s == 1, "refreshed transaction was flushed");
+  signal(doneW);
+}
+|}
+    (create ~tx:0 ~dl:1)
+
+(* Correct timer: decision and flush in one critical section. *)
+let timer_correct =
+  {|
+proc timer() {
+  var tick: int = 0;
+  while (tick < 2) {
+    now = now + 1;
+    var b: int = 0;
+    while (b < 2) {
+      lock(lockb[b]);
+      if (bucket[b] != 0) {
+        var t: int = bucket[b] - 1;
+        if (deadline[t] < now) {
+          bucket[b] = 0;
+          assert(txState[t] == 1, "flushed a non-live transaction");
+          txState[t] = 3;
+        }
+      }
+      unlock(lockb[b]);
+      b = b + 1;
+    }
+    tick = tick + 1;
+  }
+}
+|}
+
+(* Bug: the flush decision and the flush act are in separate critical
+   sections; a commit between them leaves the act flushing a committed
+   transaction. *)
+let timer_split_flush =
+  {|
+proc timer() {
+  var tick: int = 0;
+  while (tick < 2) {
+    now = now + 1;
+    var b: int = 0;
+    while (b < 2) {
+      var cand: int = 0;
+      lock(lockb[b]);
+      if (bucket[b] != 0) {
+        var t: int = bucket[b] - 1;
+        if (deadline[t] < now) {
+          cand = bucket[b];
+        }
+      }
+      unlock(lockb[b]);
+      if (cand != 0) {
+        lock(lockb[b]);
+        bucket[b] = 0;
+        assert(txState[cand - 1] == 1, "flushed a non-live transaction");
+        txState[cand - 1] = 3;
+        unlock(lockb[b]);
+      }
+      b = b + 1;
+    }
+    tick = tick + 1;
+  }
+}
+|}
+
+(* Bug: the act re-checks that the slot is occupied, but judges the
+   timeout with the deadline of the entry seen before the lock was
+   released; a recycled slot gets a fresh transaction flushed. *)
+let timer_stale_entry =
+  {|
+proc timer() {
+  var tick: int = 0;
+  while (tick < 2) {
+    now = now + 1;
+    var b: int = 0;
+    while (b < 2) {
+      var seen: int = 0;
+      lock(lockb[b]);
+      seen = bucket[b];
+      unlock(lockb[b]);
+      if (seen != 0) {
+        lock(lockb[b]);
+        var cur: int = bucket[b];
+        if (cur != 0) {
+          if (deadline[seen - 1] < now) {
+            bucket[b] = 0;
+            assert(deadline[cur - 1] < now,
+                   "flushed a transaction before its timeout");
+            txState[cur - 1] = 3;
+          }
+        }
+        unlock(lockb[b]);
+      }
+      b = b + 1;
+    }
+    tick = tick + 1;
+  }
+}
+|}
+
+(* Bug: the timer defers acting on an expired candidate until the first
+   mutation batch has been published (gen >= 1), and then re-validates only
+   occupancy, not the deadline.  Refreshing the deadline between the
+   decision and the gate check gets a live, refreshed transaction
+   flushed — the narrowest interleaving of the three. *)
+let timer_deferred_flush =
+  {|
+proc timer() {
+  now = now + 1;
+  var cand: int = 0;
+  var candSlot: int = 0;
+  var b: int = 0;
+  while (b < 2) {
+    lock(lockb[b]);
+    if (bucket[b] != 0) {
+      var t: int = bucket[b] - 1;
+      if (deadline[t] < now) {
+        cand = bucket[b];
+        candSlot = b;
+      }
+    }
+    unlock(lockb[b]);
+    b = b + 1;
+  }
+  // deferred act, gated on the batch counter
+  var g: int = 0;
+  g = gen;
+  if (cand != 0 && g >= 1) {
+    lock(lockb[candSlot]);
+    if (bucket[candSlot] == cand) {
+      bucket[candSlot] = 0;
+      txState[cand - 1] = 3;
+    }
+    unlock(lockb[candSlot]);
+  }
+}
+|}
+
+let main_driver =
+  {|
+main {
+  spawn worker();
+  spawn timer();
+  wait(doneW);
+}
+|}
+
+let source variant =
+  let worker, timer, driver =
+    match variant with
+    | Correct -> (worker_standard, timer_correct, main_driver)
+    | Bug_split_flush -> (worker_standard, timer_split_flush, main_driver)
+    | Bug_stale_entry -> (worker_standard, timer_stale_entry, main_driver)
+    | Bug_deferred_flush ->
+      (worker_deferred, timer_deferred_flush, main_driver)
+  in
+  String.concat "" [ header; worker; timer; driver ]
+
+let program variant = Icb.compile (source variant)

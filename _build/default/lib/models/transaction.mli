@@ -1,0 +1,31 @@
+(** The transaction manager model (paper Section 4.1): in-flight
+    transactions live in a small hash table with fine-grained per-bucket
+    locks; a worker thread creates and commits transactions while a timer
+    thread periodically flushes the ones whose deadline has passed —
+    exactly the structure of the .NET web-services transaction manager the
+    paper checked with ZING.
+
+    The paper reports 3 (previously known, re-seeded) bugs, found at
+    context bounds 2, 2 and 3. *)
+
+type variant =
+  | Correct
+  | Bug_split_flush
+      (** the timer decides to flush under the bucket lock but performs the
+          flush after re-acquiring it; a commit can slip in between *)
+  | Bug_stale_entry
+      (** the timer re-checks occupancy after re-acquiring the lock but
+          keeps using the deadline of the entry it saw first; the slot can
+          have been recycled for a fresh transaction in between *)
+  | Bug_deferred_flush
+      (** the timer defers acting on an expired candidate until the first
+          mutation batch has been published, then re-validates only
+          occupancy, not the deadline; a deadline refresh between the
+          decision and the gate check gets a live transaction flushed —
+          needs three preemptions at exactly the wrong places *)
+
+val variants : variant list
+val variant_name : variant -> string
+
+val source : variant -> string
+val program : variant -> Icb_machine.Prog.t

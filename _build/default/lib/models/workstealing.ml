@@ -1,0 +1,315 @@
+type variant =
+  | Correct
+  | Bug_unlocked_steal
+  | Bug_pop_reads_head_first
+  | Bug_steal_missing_wraparound
+
+let variants =
+  [ Correct; Bug_unlocked_steal; Bug_pop_reads_head_first;
+    Bug_steal_missing_wraparound ]
+
+let variant_name = function
+  | Correct -> "correct"
+  | Bug_unlocked_steal -> "unlocked-steal"
+  | Bug_pop_reads_head_first -> "pop-reads-head-first"
+  | Bug_steal_missing_wraparound -> "steal-missing-wraparound"
+
+(* The queue holds SIZE = 2 slots; the victim pushes NPUSH = 3 values
+   (phases: push 0, push 1, pop, push 2) while the thief makes three steal
+   attempts.  The driver reconciles consumption at the end. *)
+
+let header =
+  {|
+// Work-stealing queue (Cilk THE protocol) over a bounded circular buffer.
+volatile var H: int = 0;        // head: the steal end
+volatile var T: int = 0;        // tail: the push/pop end
+var items[2]: int;
+volatile var takenCount[3]: int;   // per-value consumption counters
+volatile var consumedTotal: int = 0;
+mutex m;
+event manual doneV;
+event manual doneT;
+|}
+
+(* THE pop.  Reserve the tail slot by publishing T = t, then read H; on
+   conflict restore and retry under the lock. *)
+let pop_correct =
+  {|
+      var t: int;
+      var h: int;
+      var got: int = -1;
+      t = T - 1;
+      T = t;
+      h = H;
+      if (t < h) {
+        // conflict or empty: back off and retry under the lock
+        T = t + 1;
+        lock(m);
+        h = H;
+        t = T - 1;
+        if (t >= h) {
+          got = items[t % 2];
+          T = t;
+        }
+        unlock(m);
+      } else {
+        got = items[t % 2];
+      }
+|}
+
+(* Reading H before publishing the reserved tail breaks the handshake: on
+   the last item both the victim (stale head) and the thief (stale tail)
+   conclude they won. *)
+let pop_bug_reads_head_first =
+  {|
+      var t: int;
+      var h: int;
+      var got: int = -1;
+      t = T - 1;
+      h = H;
+      T = t;
+      if (t < h) {
+        T = t + 1;
+        lock(m);
+        h = H;
+        t = T - 1;
+        if (t >= h) {
+          got = items[t % 2];
+          T = t;
+        }
+        unlock(m);
+      } else {
+        got = items[t % 2];
+      }
+|}
+
+let consume =
+  {|
+      if (got >= 0) {
+        var old: int;
+        old = fetch_add(takenCount[got], 1);
+        assert(old == 0, "item consumed twice");
+        old = fetch_add(consumedTotal, 1);
+      }
+|}
+
+let push ~wraparound =
+  let index = if wraparound then "t2 % 2" else "t2" in
+  Printf.sprintf
+    {|
+      var t2: int;
+      var h2: int;
+      t2 = T;
+      h2 = H;
+      assert(t2 - h2 < 2, "push to a full queue");
+      items[%s] = val;
+      T = t2 + 1;
+      val = val + 1;
+|}
+    index
+
+let victim ~pop ~wraparound =
+  Printf.sprintf
+    {|
+proc victim() {
+  var phase: int = 0;
+  var val: int = 0;
+  while (phase < 4) {
+    if (phase == 2) {
+%s
+%s
+    } else {
+%s
+    }
+    phase = phase + 1;
+  }
+  signal(doneV);
+}
+|}
+    pop consume (push ~wraparound)
+
+(* THE steal: reserve the head slot by publishing H = h + 1, then read T;
+   restore on conflict.  The whole operation runs under the lock. *)
+let thief_locked ~wraparound =
+  let index = if wraparound then "h % 2" else "h" in
+  Printf.sprintf
+    {|
+proc thief() {
+  var attempt: int = 0;
+  while (attempt < 3) {
+    var h: int;
+    var t: int;
+    var got: int = -1;
+    lock(m);
+    h = H;
+    H = h + 1;
+    t = T;
+    if (h < t) {
+      got = items[%s];
+    } else {
+      H = h;
+    }
+    unlock(m);
+%s
+    attempt = attempt + 1;
+  }
+  signal(doneT);
+}
+|}
+    index consume
+
+let thief_correct = thief_locked ~wraparound:true
+
+let thief_unlocked =
+  Printf.sprintf
+    {|
+proc thief() {
+  var attempt: int = 0;
+  while (attempt < 3) {
+    var h: int;
+    var t: int;
+    var got: int = -1;
+    h = H;
+    t = T;
+    if (h < t) {
+      got = items[h %% 2];
+      H = h + 1;
+    }
+%s
+    attempt = attempt + 1;
+  }
+  signal(doneT);
+}
+|}
+    consume
+
+let main_driver =
+  {|
+main {
+  spawn victim();
+  spawn thief();
+  wait(doneV);
+  wait(doneT);
+  var h: int;
+  var t: int;
+  var c: int;
+  h = H;
+  t = T;
+  c = consumedTotal;
+  assert(c + (t - h) == 3, "items were lost");
+}
+|}
+
+(* A scaled-up driver (3 buffer slots, 6 values, 5 steal attempts) for the
+   growth-curve experiments: big enough that no strategy saturates its
+   happens-before class space within a laptop-scale budget. *)
+let scaled_source =
+  {|
+volatile var H: int = 0;
+volatile var T: int = 0;
+var items[3]: int;
+volatile var takenCount[6]: int;
+volatile var consumedTotal: int = 0;
+mutex m;
+event manual doneV;
+event manual doneT;
+proc victim() {
+  var phase: int = 0;
+  var val: int = 0;
+  while (phase < 9) {
+    if (phase == 2 || phase == 5 || phase == 8) {
+      var t: int;
+      var h: int;
+      var got: int = -1;
+      t = T - 1;
+      T = t;
+      h = H;
+      if (t < h) {
+        T = t + 1;
+        lock(m);
+        h = H;
+        t = T - 1;
+        if (t >= h) {
+          got = items[t % 3];
+          T = t;
+        }
+        unlock(m);
+      } else {
+        got = items[t % 3];
+      }
+      if (got >= 0) {
+        var old: int;
+        old = fetch_add(takenCount[got], 1);
+        assert(old == 0, "item consumed twice");
+        old = fetch_add(consumedTotal, 1);
+      }
+    } else {
+      var t2: int;
+      var h2: int;
+      t2 = T;
+      h2 = H;
+      assert(t2 - h2 < 3, "push to a full queue");
+      items[t2 % 3] = val;
+      T = t2 + 1;
+      val = val + 1;
+    }
+    phase = phase + 1;
+  }
+  signal(doneV);
+}
+proc thief() {
+  var attempt: int = 0;
+  while (attempt < 5) {
+    var h: int;
+    var t: int;
+    var got: int = -1;
+    lock(m);
+    h = H;
+    H = h + 1;
+    t = T;
+    if (h < t) {
+      got = items[h % 3];
+    } else {
+      H = h;
+    }
+    unlock(m);
+    if (got >= 0) {
+      var old: int;
+      old = fetch_add(takenCount[got], 1);
+      assert(old == 0, "item consumed twice");
+      old = fetch_add(consumedTotal, 1);
+    }
+    attempt = attempt + 1;
+  }
+  signal(doneT);
+}
+main {
+  spawn victim();
+  spawn thief();
+  wait(doneV);
+  wait(doneT);
+  var h: int;
+  var t: int;
+  var c: int;
+  h = H;
+  t = T;
+  c = consumedTotal;
+  assert(c + (t - h) == 6, "items were lost");
+}
+|}
+
+let scaled_program () = Icb.compile scaled_source
+
+let source variant =
+  let pop, thief =
+    match variant with
+    | Correct -> (pop_correct, thief_correct)
+    | Bug_unlocked_steal -> (pop_correct, thief_unlocked)
+    | Bug_pop_reads_head_first -> (pop_bug_reads_head_first, thief_correct)
+    | Bug_steal_missing_wraparound ->
+      (pop_correct, thief_locked ~wraparound:false)
+  in
+  String.concat ""
+    [ header; victim ~pop ~wraparound:true; thief; main_driver ]
+
+let program variant = Icb.compile (source variant)

@@ -1,0 +1,38 @@
+(** The work-stealing queue model (paper Section 4.1): an implementation
+    of the Cilk THE protocol over a bounded circular buffer, exercised by a
+    victim thread (pushes and pops at the tail) and a thief thread (steals
+    at the head), as in Leijen's futures library the paper tested.
+
+    Consumption accounting is built into the model: every consumed value
+    bumps a per-value atomic counter ([assert]ed to stay at one) and a
+    global count that the driver reconciles against the number of pushes
+    at the end, so both double consumption and lost items surface as
+    assertion failures.
+
+    The paper reports three variations, each with one subtle bug, all
+    found within context bound 2: *)
+
+type variant =
+  | Correct
+  | Bug_unlocked_steal
+      (** the thief reads head/tail and takes the item without the lock *)
+  | Bug_pop_reads_head_first
+      (** the victim's pop reads the head before publishing the reserved
+          tail, breaking the Dekker-style handshake on the last item *)
+  | Bug_steal_missing_wraparound
+      (** the thief indexes the buffer without the modulo, running off the
+          end once the head has advanced past the buffer size *)
+
+val variants : variant list
+val variant_name : variant -> string
+
+val source : variant -> string
+val program : variant -> Icb_machine.Prog.t
+
+val scaled_source : string
+(** A scaled-up correct driver (3 slots, 6 values, 5 steals) whose
+    happens-before class space no strategy saturates at laptop-scale
+    budgets (even the standard driver's prefix space measures ~4x10^5
+    classes); used by the growth-curve experiments. *)
+
+val scaled_program : unit -> Icb_machine.Prog.t

@@ -1,0 +1,1 @@
+lib/race/goldilocks.ml: Icb_machine Int List Map Option Report Set Stdlib

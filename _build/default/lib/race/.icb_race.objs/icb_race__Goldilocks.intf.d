@@ -1,0 +1,1 @@
+lib/race/goldilocks.mli: Icb_machine Report

@@ -1,0 +1,1 @@
+lib/race/hbsig.ml: Icb_machine Icb_util Int List Map Stdlib

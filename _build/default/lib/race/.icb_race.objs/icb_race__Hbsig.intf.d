@@ -1,0 +1,1 @@
+lib/race/hbsig.mli: Icb_machine

@@ -1,0 +1,1 @@
+lib/race/report.ml: Icb_machine

@@ -1,0 +1,1 @@
+lib/race/report.mli: Format Icb_machine

@@ -1,0 +1,1 @@
+lib/race/vcdetect.ml: Icb_machine Int List Map Report Stdlib Vclock

@@ -1,0 +1,1 @@
+lib/race/vcdetect.mli: Icb_machine Report

@@ -1,0 +1,1 @@
+lib/race/vclock.mli: Format

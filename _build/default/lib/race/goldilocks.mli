@@ -1,0 +1,23 @@
+(** The Goldilocks race detector (Elmas, Qadeer, Tasiran, FATES/RV 2006) —
+    the algorithm the CHESS implementation uses to check each execution for
+    data races.
+
+    Goldilocks maintains, for every data variable, a {e lockset}: the set
+    of threads and synchronization variables through which the last
+    accesses to it have been "published".  A thread may access the variable
+    race-free iff it belongs to the lockset.  Synchronization accesses grow
+    locksets by the transfer rules; data accesses check membership and
+    reset.
+
+    This is an eager (non-lazy) implementation extended with read sharing:
+    each variable carries the lockset of its last write plus one lockset
+    per reading thread since that write, so read-read sharing is not
+    reported while read-write and write-write races are.  The detector is
+    persistent, like {!Vcdetect}, and the two are property-tested to agree
+    on every execution. *)
+
+type t
+
+val empty : t
+
+val observe : t -> Icb_machine.Interp.event list -> (t, Report.race) result

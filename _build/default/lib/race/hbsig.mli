@@ -1,0 +1,25 @@
+(** Happens-before execution signatures.
+
+    The paper's Section 4.3 uses the happens-before relation of an
+    execution as the representation of the state it reaches, for programs
+    whose concrete states a stateless checker cannot capture.  Two
+    executions that differ only in the order of independent steps have
+    equal happens-before relations and therefore equal signatures here.
+
+    The signature combines, commutatively across variables, a hash of the
+    per-synchronization-variable access sequence (each entry being the
+    accessing thread and that thread's operation index), together with each
+    thread's operation count.  Within a variable the sequence order
+    matters; across variables it must not — reordering independent steps
+    permutes events of different variables but preserves each variable's
+    sequence. *)
+
+type t
+
+val empty : t
+
+val observe : t -> Icb_machine.Interp.event list -> t
+(** Fold the events of one step into the signature state. *)
+
+val signature : t -> int64
+(** The current signature. *)

@@ -1,0 +1,11 @@
+type race = {
+  var : Icb_machine.Interp.var_id;
+  tid1 : int;
+  tid2 : int;
+}
+
+let to_merr prog { var; tid1; tid2 } =
+  Icb_machine.Merr.Data_race
+    { var = Icb_machine.Interp.var_name prog var; tid1; tid2 }
+
+let pp prog fmt r = Icb_machine.Merr.pp fmt (to_merr prog r)

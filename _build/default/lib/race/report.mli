@@ -1,0 +1,11 @@
+(** Race reports shared by the detectors. *)
+
+type race = {
+  var : Icb_machine.Interp.var_id;  (** the data variable raced on *)
+  tid1 : int;                       (** earlier access *)
+  tid2 : int;                       (** later access *)
+}
+
+val to_merr : Icb_machine.Prog.t -> race -> Icb_machine.Merr.t
+
+val pp : Icb_machine.Prog.t -> Format.formatter -> race -> unit

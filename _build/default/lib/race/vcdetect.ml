@@ -1,0 +1,94 @@
+module Interp = Icb_machine.Interp
+module Imap = Map.Make (Int)
+
+module Var_map = Map.Make (struct
+  type t = Interp.var_id
+
+  let compare = Stdlib.compare
+end)
+
+type data_state = {
+  write : (int * int) option;  (* last-write epoch: (tid, clock) *)
+  reads : int Imap.t;          (* per-thread read epochs since the last write *)
+}
+
+type t = {
+  clocks : Vclock.t Imap.t;    (* per-thread clocks *)
+  sync_vc : Vclock.t Var_map.t;
+  data : data_state Var_map.t;
+}
+
+let empty = { clocks = Imap.empty; sync_vc = Var_map.empty; data = Var_map.empty }
+
+(* A thread's clock starts at {t:1} so its first operation has a non-zero
+   epoch. *)
+let clock_of t tid =
+  match Imap.find_opt tid t.clocks with
+  | Some c -> c
+  | None -> Vclock.inc Vclock.empty tid
+
+let data_of t var =
+  match Var_map.find_opt var t.data with
+  | Some d -> d
+  | None -> { write = None; reads = Imap.empty }
+
+exception Race of Report.race
+
+let on_sync t tid var =
+  let c = clock_of t tid in
+  let vvc =
+    match Var_map.find_opt var t.sync_vc with
+    | Some vc -> vc
+    | None -> Vclock.empty
+  in
+  (* combined acquire-release: pull the variable's knowledge in, publish the
+     joined clock, then advance the thread *)
+  let c = Vclock.join c vvc in
+  let sync_vc = Var_map.add var c t.sync_vc in
+  let c = Vclock.inc c tid in
+  { t with clocks = Imap.add tid c t.clocks; sync_vc }
+
+let on_fork t parent child =
+  let cp = clock_of t parent in
+  let cc = Vclock.join (clock_of t child) cp in
+  let cp = Vclock.inc cp parent in
+  { t with clocks = Imap.add parent cp (Imap.add child cc t.clocks) }
+
+let on_read t tid var =
+  let c = clock_of t tid in
+  let d = data_of t var in
+  (match d.write with
+  | Some (u, k) when u <> tid && k > Vclock.get c u ->
+    raise (Race { Report.var; tid1 = u; tid2 = tid })
+  | Some _ | None -> ());
+  let d = { d with reads = Imap.add tid (Vclock.get c tid) d.reads } in
+  { t with data = Var_map.add var d t.data }
+
+let on_write t tid var =
+  let c = clock_of t tid in
+  let d = data_of t var in
+  (match d.write with
+  | Some (u, k) when u <> tid && k > Vclock.get c u ->
+    raise (Race { Report.var; tid1 = u; tid2 = tid })
+  | Some _ | None -> ());
+  Imap.iter
+    (fun u k ->
+      if u <> tid && k > Vclock.get c u then
+        raise (Race { Report.var; tid1 = u; tid2 = tid }))
+    d.reads;
+  let d = { write = Some (tid, Vclock.get c tid); reads = Imap.empty } in
+  { t with data = Var_map.add var d t.data }
+
+let observe t events =
+  try
+    Ok
+      (List.fold_left
+         (fun t ev ->
+           match (ev : Interp.event) with
+           | Ev_sync { tid; var } -> on_sync t tid var
+           | Ev_fork { parent; child } -> on_fork t parent child
+           | Ev_data { tid; var; write } ->
+             if write then on_write t tid var else on_read t tid var
+           | Ev_lifetime _ -> t)
+         t events)
+  with Race r -> Error r

@@ -1,0 +1,18 @@
+(** Vector-clock data-race detector (DJIT+/FastTrack style).
+
+    Consumes the interpreter's event stream.  Synchronization accesses act
+    as combined acquire-release on the variable (matching the paper's
+    dependence relation, under which any two accesses to the same sync
+    variable are ordered); data accesses are checked against the last write
+    epoch and the read epochs since that write.
+
+    The state is persistent: the search can branch an execution and carry
+    the detector along each branch. *)
+
+type t
+
+val empty : t
+
+val observe : t -> Icb_machine.Interp.event list -> (t, Report.race) result
+(** Process the events of one step, in order.  Returns the first race
+    found, if any; otherwise the advanced detector state. *)

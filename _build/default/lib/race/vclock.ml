@@ -1,0 +1,32 @@
+module Imap = Map.Make (Int)
+
+(* Invariant: no bindings to 0 are stored, so structural map equality
+   coincides with clock equality. *)
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let get c tid = match Imap.find_opt tid c with Some n -> n | None -> 0
+
+let set c tid n = if n = 0 then Imap.remove tid c else Imap.add tid n c
+
+let inc c tid = Imap.add tid (get c tid + 1) c
+
+let join a b = Imap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = Imap.for_all (fun tid n -> n <= get b tid) a
+
+let equal = Imap.equal Int.equal
+
+let compare = Imap.compare Int.compare
+
+let pp fmt c =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  Imap.iter
+    (fun tid n ->
+      if not !first then Format.fprintf fmt ", ";
+      first := false;
+      Format.fprintf fmt "%d:%d" tid n)
+    c;
+  Format.fprintf fmt "}"

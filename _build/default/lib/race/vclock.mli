@@ -1,0 +1,31 @@
+(** Persistent vector clocks.
+
+    Components default to 0 for absent threads, so clocks over a growing
+    thread population need no resizing. *)
+
+type t
+
+val empty : t
+
+val get : t -> int -> int
+(** [get c tid] is the component for [tid] (0 when absent). *)
+
+val inc : t -> int -> t
+(** Increment one component. *)
+
+val set : t -> int -> int -> t
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise ordering: [leq a b] iff every component of [a] is [<=] the
+    corresponding component of [b]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** A total order extending structural equality (not the happens-before
+    partial order); for use as a map key. *)
+
+val pp : Format.formatter -> t -> unit

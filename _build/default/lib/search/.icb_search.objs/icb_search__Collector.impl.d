@@ -1,0 +1,1 @@
+lib/search/collector.ml: Array Engine Format Hashtbl List Sresult String

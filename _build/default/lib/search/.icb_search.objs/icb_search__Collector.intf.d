@@ -1,0 +1,1 @@
+lib/search/collector.mli: Engine Sresult

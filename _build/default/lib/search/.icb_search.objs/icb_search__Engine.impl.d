@@ -1,0 +1,1 @@
+lib/search/engine.ml: Icb_machine List Set Stdlib

@@ -1,0 +1,1 @@
+lib/search/explore.ml: Collector Engine Hashtbl Icb_util List Option Printf Queue Sresult

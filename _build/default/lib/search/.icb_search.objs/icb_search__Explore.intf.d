@@ -1,0 +1,1 @@
+lib/search/explore.mli: Collector Engine Sresult

@@ -1,0 +1,1 @@
+lib/search/mach_engine.ml: Engine Icb_machine Icb_race Icb_util List

@@ -1,0 +1,1 @@
+lib/search/mach_engine.mli: Engine Icb_machine

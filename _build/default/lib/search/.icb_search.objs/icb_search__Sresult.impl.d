@@ -1,0 +1,1 @@
+lib/search/sresult.ml: Format List

@@ -1,0 +1,143 @@
+type options = {
+  max_executions : int option;
+  max_states : int option;
+  max_total_steps : int option;
+  deadlock_is_error : bool;
+  stop_at_first_bug : bool;
+  terminal_states_only : bool;
+}
+
+let default_options =
+  {
+    max_executions = None;
+    max_states = None;
+    max_total_steps = None;
+    deadlock_is_error = true;
+    stop_at_first_bug = false;
+    terminal_states_only = false;
+  }
+
+exception Stop
+
+type t = {
+  opts : options;
+  visited : (int64, unit) Hashtbl.t;
+  bugs : (string, Sresult.bug) Hashtbl.t;
+  mutable bug_order : string list;  (* reversed *)
+  mutable executions : int;
+  mutable total_steps : int;
+  mutable max_steps : int;
+  mutable max_blocks : int;
+  mutable max_preemptions : int;
+  mutable max_threads : int;
+  mutable complete : bool;
+  mutable growth : (int * int) list;          (* reversed *)
+  mutable bound_coverage : (int * int) list;  (* reversed *)
+}
+
+let create opts =
+  {
+    opts;
+    visited = Hashtbl.create 4096;
+    bugs = Hashtbl.create 16;
+    bug_order = [];
+    executions = 0;
+    total_steps = 0;
+    max_steps = 0;
+    max_blocks = 0;
+    max_preemptions = 0;
+    max_threads = 0;
+    complete = false;
+    growth = [];
+    bound_coverage = [];
+  }
+
+let over limit n = match limit with Some l -> n >= l | None -> false
+
+let touch t signature =
+  t.total_steps <- t.total_steps + 1;
+  if
+    (not t.opts.terminal_states_only)
+    && not (Hashtbl.mem t.visited signature)
+  then Hashtbl.add t.visited signature ();
+  if over t.opts.max_states (Hashtbl.length t.visited) then raise Stop;
+  if over t.opts.max_total_steps t.total_steps then raise Stop
+
+let seen_states t = Hashtbl.length t.visited
+
+type execution_end = {
+  depth : int;
+  blocks : int;
+  preemptions : int;
+  threads : int;
+  schedule : int list;
+  signature : int64;
+  status : Engine.status;
+}
+
+(* Context switches in a schedule: positions where the thread changes. *)
+let count_switches schedule =
+  match schedule with
+  | [] -> 0
+  | first :: rest ->
+    let switches, _ =
+      List.fold_left
+        (fun (n, prev) tid -> ((n + if tid <> prev then 1 else 0), tid))
+        (0, first) rest
+    in
+    switches
+
+let end_execution t (e : execution_end) =
+  t.executions <- t.executions + 1;
+  if t.opts.terminal_states_only && not (Hashtbl.mem t.visited e.signature)
+  then Hashtbl.add t.visited e.signature ();
+  t.max_steps <- max t.max_steps e.depth;
+  t.max_blocks <- max t.max_blocks e.blocks;
+  t.max_preemptions <- max t.max_preemptions e.preemptions;
+  t.max_threads <- max t.max_threads e.threads;
+  t.growth <- (t.executions, Hashtbl.length t.visited) :: t.growth;
+  let bug_of key msg =
+    if not (Hashtbl.mem t.bugs key) then begin
+      Hashtbl.add t.bugs key
+        {
+          Sresult.key;
+          msg;
+          schedule = e.schedule;
+          preemptions = e.preemptions;
+          context_switches = count_switches e.schedule;
+          depth = e.depth;
+          execution = t.executions;
+        };
+      t.bug_order <- key :: t.bug_order;
+      if t.opts.stop_at_first_bug then raise Stop
+    end
+  in
+  (match e.status with
+  | Engine.Failed { key; msg } -> bug_of key msg
+  | Engine.Deadlock blocked when t.opts.deadlock_is_error ->
+    bug_of "deadlock"
+      (Format.asprintf "deadlock; blocked threads: %s"
+         (String.concat ", " (List.map string_of_int blocked)))
+  | Engine.Deadlock _ | Engine.Terminated | Engine.Running -> ());
+  if over t.opts.max_executions t.executions then raise Stop
+
+let record_bound t bound =
+  t.bound_coverage <- (bound, Hashtbl.length t.visited) :: t.bound_coverage
+
+let set_complete t = t.complete <- true
+
+let result t ~strategy =
+  {
+    Sresult.strategy;
+    executions = t.executions;
+    distinct_states = Hashtbl.length t.visited;
+    bugs = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_order;
+    max_steps = t.max_steps;
+    max_blocks = t.max_blocks;
+    max_preemptions = t.max_preemptions;
+    max_threads = t.max_threads;
+    complete = t.complete;
+    growth = Array.of_list (List.rev t.growth);
+    bound_coverage = Array.of_list (List.rev t.bound_coverage);
+    total_steps = t.total_steps;
+  }

@@ -1,0 +1,54 @@
+(** Mutable accumulator shared by all search strategies: distinct-state
+    accounting, execution counting, bug deduplication, growth curves and
+    limit enforcement. *)
+
+type options = {
+  max_executions : int option;
+  max_states : int option;
+  max_total_steps : int option;
+  deadlock_is_error : bool;
+  stop_at_first_bug : bool;
+  terminal_states_only : bool;
+      (** count only the state at the end of each execution (the paper's
+          Section 4.3 stateless-coverage convention for Figures 2, 5 and
+          6) instead of every visited state *)
+}
+
+val default_options : options
+(** No limits, deadlocks are errors, keep searching after a bug. *)
+
+exception Stop
+(** Raised when a limit fires or [stop_at_first_bug] triggers; strategies
+    let it propagate to their driver, which converts it into a
+    [complete = false] result. *)
+
+type t
+
+val create : options -> t
+
+val touch : t -> int64 -> unit
+(** Record a reached state by signature.  Raises {!Stop} when the state or
+    step limit is hit. *)
+
+val seen_states : t -> int
+
+(** End-of-execution record: engine measurements of the finished (or
+    truncated) execution. *)
+type execution_end = {
+  depth : int;
+  blocks : int;
+  preemptions : int;
+  threads : int;
+  schedule : int list;
+  signature : int64;
+  status : Engine.status;   (** [Running] means truncated by a depth bound *)
+}
+
+val end_execution : t -> execution_end -> unit
+
+val record_bound : t -> int -> unit
+(** ICB: snapshot coverage after completing the given context bound. *)
+
+val set_complete : t -> unit
+
+val result : t -> strategy:string -> Sresult.t

@@ -1,0 +1,372 @@
+type strategy =
+  | Icb of { max_bound : int option; cache : bool }
+  | Dfs of { cache : bool }
+  | Bounded_dfs of { depth : int; cache : bool }
+  | Iterative_dfs of { start : int; incr : int; max_depth : int; cache : bool }
+  | Random_walk of { seed : int64 }
+  | Sleep_dfs
+  | Pct of { change_points : int; seed : int64 }
+  | Most_enabled of { cache : bool }
+
+let strategy_name = function
+  | Icb { max_bound = None; _ } -> "icb"
+  | Icb { max_bound = Some b; _ } -> Printf.sprintf "icb:%d" b
+  | Dfs _ -> "dfs"
+  | Bounded_dfs { depth; _ } -> Printf.sprintf "db:%d" depth
+  | Iterative_dfs { max_depth; _ } -> Printf.sprintf "idfs:%d" max_depth
+  | Random_walk _ -> "random"
+  | Sleep_dfs -> "sleep-dfs"
+  | Pct { change_points; _ } -> Printf.sprintf "pct:%d" change_points
+  | Most_enabled _ -> "most-enabled"
+
+let finish (type s) (module E : Engine.S with type state = s) col (st : s)
+    status =
+  Collector.end_execution col
+    {
+      Collector.depth = E.depth st;
+      blocks = E.blocking_ops st;
+      preemptions = E.preemptions st;
+      threads = E.thread_count st;
+      schedule = E.schedule st;
+      signature = E.signature st;
+      status;
+    }
+
+(* --- Algorithm 1: iterative context bounding -------------------------- *)
+
+let run_icb (type s) (module E : Engine.S with type state = s) col ~max_bound
+    ~cache =
+  let work : (s * int) Queue.t = Queue.create () in
+  let next : (s * int) Queue.t = Queue.create () in
+  (* the paper's optional state-caching table, keyed on the work item *)
+  let table : (int64 * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let seen st tid =
+    cache
+    &&
+    let k = (E.signature st, tid) in
+    Hashtbl.mem table k || (Hashtbl.add table k (); false)
+  in
+  let rec search (st, tid) =
+    if not (seen st tid) then begin
+      let st' = E.step st tid in
+      Collector.touch col (E.signature st');
+      match E.status st' with
+      | Engine.Running ->
+        let en = E.enabled st' in
+        if List.mem tid en then begin
+          (* running thread still enabled: continue it without a context
+             switch; scheduling anyone else here costs a preemption, so
+             defer those work items to the next bound *)
+          search (st', tid);
+          List.iter (fun t -> if t <> tid then Queue.add (st', t) next) en
+        end
+        else
+          (* the running thread blocked or finished: switching is free *)
+          List.iter (fun t -> search (st', t)) en
+      | status -> finish (module E) col st' status
+    end
+  in
+  let s0 = E.initial () in
+  Collector.touch col (E.signature s0);
+  (match E.status s0 with
+  | Engine.Running -> List.iter (fun t -> Queue.add (s0, t) work) (E.enabled s0)
+  | status -> finish (module E) col s0 status);
+  let bound = ref 0 in
+  let continue = ref true in
+  while !continue do
+    while not (Queue.is_empty work) do
+      search (Queue.pop work)
+    done;
+    Collector.record_bound col !bound;
+    if Queue.is_empty next then begin
+      Collector.set_complete col;
+      continue := false
+    end
+    else begin
+      match max_bound with
+      | Some b when !bound >= b ->
+        (* every execution with <= b preemptions has been explored *)
+        continue := false
+      | Some _ | None ->
+        incr bound;
+        Queue.transfer next work
+    end
+  done
+
+(* --- depth-first search ----------------------------------------------- *)
+
+let run_dfs (type s) (module E : Engine.S with type state = s) col ~bound
+    ~cache ~table =
+  let seen st =
+    cache
+    &&
+    let k = E.signature st in
+    Hashtbl.mem table k || (Hashtbl.add table k (); false)
+  in
+  let truncated = ref 0 in
+  let rec dfs st =
+    match E.status st with
+    | Engine.Running ->
+      if (match bound with Some b -> E.depth st >= b | None -> false) then begin
+        incr truncated;
+        finish (module E) col st Engine.Running
+      end
+      else
+        List.iter
+          (fun t ->
+            let st' = E.step st t in
+            Collector.touch col (E.signature st');
+            if not (seen st') then dfs st')
+          (E.enabled st)
+    | status -> finish (module E) col st status
+  in
+  let s0 = E.initial () in
+  Collector.touch col (E.signature s0);
+  if not (seen s0) then dfs s0;
+  !truncated
+
+(* --- depth-first search with sleep sets --------------------------------- *)
+
+(* Godefroid's sleep sets over dynamic footprints: after fully exploring a
+   sibling transition t, later siblings carry t in their sleep set and skip
+   it until some dependent step wakes it.  Because the footprints are
+   computed by speculative execution at the very state where the sleeping
+   step would run, disjointness implies true commutation there (a step
+   whose variables the other step does not touch reads the same values and
+   takes the same path in either order).  Sleep sets prune redundant
+   interleavings only, so the set of reachable states is preserved — a
+   property the test suite checks against plain DFS. *)
+let run_sleep_dfs (type s) (module E : Engine.S with type state = s) col =
+  let rec dfs st (sleep : (int * Engine.Footprint.t) list) =
+    match E.status st with
+    | Engine.Running ->
+      let explored = ref [] in
+      List.iter
+        (fun t ->
+          if not (List.mem_assoc t sleep) then begin
+            let fp = E.step_footprint st t in
+            let st' = E.step st t in
+            Collector.touch col (E.signature st');
+            let sleep' =
+              List.filter
+                (fun (_, fp_u) -> Engine.Footprint.independent fp fp_u)
+                (sleep @ !explored)
+            in
+            dfs st' sleep';
+            explored := (t, fp) :: !explored
+          end)
+        (E.enabled st)
+    | status -> finish (module E) col st status
+  in
+  let s0 = E.initial () in
+  Collector.touch col (E.signature s0);
+  dfs s0 []
+
+(* --- PCT: probabilistic concurrency testing ------------------------------ *)
+
+(* Burckhardt, Kothari, Musuvathi, Nagarakatte (ASPLOS 2010), the
+   randomized successor of iterative context bounding from the same group:
+   each execution runs threads by randomly assigned priorities, lowering
+   the running thread's priority at [change_points - 1] uniformly chosen
+   steps.  Any bug of preemption depth d is found with probability at
+   least 1/(n * k^(d-1)) per execution. *)
+let run_pct (type s) (module E : Engine.S with type state = s) col
+    ~change_points ~seed =
+  let rng = Icb_util.Rng.create seed in
+  let k_estimate = ref 32 in
+  let hard_cap = 1_000_000 in
+  for _ = 1 to hard_cap do
+    let priorities : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    (* initial and spawned threads draw a random high priority; change
+       points later demote to the low band 1..d-1 *)
+    let d = max 1 change_points in
+    let priority_of t =
+      match Hashtbl.find_opt priorities t with
+      | Some p -> p
+      | None ->
+        let p = d + Icb_util.Rng.int rng 1000 in
+        Hashtbl.add priorities t p;
+        p
+    in
+    let change_steps =
+      List.init (d - 1) (fun i ->
+          (i + 1, 1 + Icb_util.Rng.int rng (max 1 !k_estimate)))
+    in
+    let st = ref (E.initial ()) in
+    Collector.touch col (E.signature !st);
+    let steps = ref 0 in
+    let rec walk () =
+      match E.status !st with
+      | Engine.Running ->
+        let en = E.enabled !st in
+        let t =
+          List.fold_left
+            (fun best t ->
+              match best with
+              | None -> Some t
+              | Some b -> if priority_of t > priority_of b then Some t else best)
+            None en
+          |> Option.get
+        in
+        incr steps;
+        List.iter
+          (fun (low, at) ->
+            if at = !steps then Hashtbl.replace priorities t low)
+          change_steps;
+        st := E.step !st t;
+        Collector.touch col (E.signature !st);
+        walk ()
+      | status -> finish (module E) col !st status
+    in
+    walk ();
+    k_estimate := max !k_estimate (E.depth !st)
+  done
+
+(* --- best-first search by enabled-thread count --------------------------- *)
+
+(* Groce & Visser's structural heuristic (ISSTA 2002), cited by the paper
+   as prior heuristic search: prefer frontier states with more enabled
+   threads.  Implemented as best-first with a bucket queue (enabled counts
+   are small). *)
+let run_most_enabled (type s) (module E : Engine.S with type state = s) col
+    ~cache =
+  let table = Hashtbl.create 4096 in
+  let seen st =
+    cache
+    &&
+    let k = E.signature st in
+    Hashtbl.mem table k || (Hashtbl.add table k (); false)
+  in
+  let buckets : (int, s Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let max_bucket = ref 0 in
+  let push st =
+    let n = List.length (E.enabled st) in
+    let q =
+      match Hashtbl.find_opt buckets n with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add buckets n q;
+        q
+    in
+    Queue.add st q;
+    max_bucket := max !max_bucket n
+  in
+  let rec pop () =
+    let rec from n =
+      if n < 0 then None
+      else
+        match Hashtbl.find_opt buckets n with
+        | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+        | Some _ | None -> from (n - 1)
+    in
+    match from !max_bucket with
+    | Some st -> Some st
+    | None -> ignore pop; None
+  in
+  let s0 = E.initial () in
+  Collector.touch col (E.signature s0);
+  if not (seen s0) then push s0;
+  let rec loop () =
+    match pop () with
+    | None -> Collector.set_complete col
+    | Some st ->
+      (match E.status st with
+      | Engine.Running ->
+        List.iter
+          (fun t ->
+            let st' = E.step st t in
+            Collector.touch col (E.signature st');
+            if not (seen st') then push st')
+          (E.enabled st)
+      | status -> finish (module E) col st status);
+      loop ()
+  in
+  loop ()
+
+(* --- random walk ------------------------------------------------------- *)
+
+let run_random (type s) (module E : Engine.S with type state = s) col ~seed =
+  let rng = Icb_util.Rng.create seed in
+  (* without an execution or step limit a random walk never stops; the
+     caller's options must bound it, but guard against looping forever on a
+     misconfiguration by capping at a large default *)
+  let hard_cap = 1_000_000 in
+  let n = ref 0 in
+  while !n < hard_cap do
+    incr n;
+    let st = ref (E.initial ()) in
+    Collector.touch col (E.signature !st);
+    let rec walk () =
+      match E.status !st with
+      | Engine.Running ->
+        let t = Icb_util.Rng.pick rng (E.enabled !st) in
+        st := E.step !st t;
+        Collector.touch col (E.signature !st);
+        walk ()
+      | status -> finish (module E) col !st status
+    in
+    walk ()
+  done
+
+(* --- driver ------------------------------------------------------------ *)
+
+let run (type s) (module E : Engine.S with type state = s)
+    ?(options = Collector.default_options) strategy =
+  let col = Collector.create options in
+  (try
+     match strategy with
+     | Icb { max_bound; cache } -> run_icb (module E) col ~max_bound ~cache
+     | Dfs { cache } ->
+       let table = Hashtbl.create 4096 in
+       let truncated = run_dfs (module E) col ~bound:None ~cache ~table in
+       if truncated = 0 then Collector.set_complete col
+     | Bounded_dfs { depth; cache } ->
+       let table = Hashtbl.create 4096 in
+       let truncated =
+         run_dfs (module E) col ~bound:(Some depth) ~cache ~table
+       in
+       if truncated = 0 then Collector.set_complete col
+     | Iterative_dfs { start; incr = inc; max_depth; cache } ->
+       let d = ref start in
+       let stop = ref false in
+       while (not !stop) && !d <= max_depth do
+         (* each round gets a fresh cache: a state first reached at depth
+            d-1 may have unexplored descendants below the deeper bound *)
+         let table = Hashtbl.create 4096 in
+         let truncated =
+           run_dfs (module E) col ~bound:(Some !d) ~cache ~table
+         in
+         if truncated = 0 then begin
+           Collector.set_complete col;
+           stop := true
+         end
+         else d := !d + inc
+       done
+     | Random_walk { seed } -> run_random (module E) col ~seed
+     | Sleep_dfs ->
+       run_sleep_dfs (module E) col;
+       Collector.set_complete col
+     | Pct { change_points; seed } ->
+       run_pct (module E) col ~change_points ~seed
+     | Most_enabled { cache } -> run_most_enabled (module E) col ~cache
+   with Collector.Stop -> ());
+  Collector.result col ~strategy:(strategy_name strategy)
+
+let check (type s) (module E : Engine.S with type state = s)
+    ?(options = Collector.default_options) ?max_bound () =
+  let options = { options with Collector.stop_at_first_bug = true } in
+  let r = run (module E) ~options (Icb { max_bound; cache = false }) in
+  match r.Sresult.bugs with
+  | bug :: _ -> Some bug
+  | [] -> None
+
+let replay (type s) (module E : Engine.S with type state = s) schedule =
+  List.fold_left
+    (fun st tid ->
+      if not (List.mem tid (E.enabled st)) then
+        invalid_arg
+          (Printf.sprintf "Explore.replay: thread %d not enabled at step %d"
+             tid (E.depth st));
+      E.step st tid)
+    (E.initial ()) schedule

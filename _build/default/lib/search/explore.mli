@@ -1,0 +1,55 @@
+(** The search strategies.
+
+    {!Icb} is the paper's Algorithm 1; the others are the baselines its
+    evaluation compares against (unbounded depth-first search,
+    depth-bounded DFS, iterative depth-bounding, uniform random walk). *)
+
+type strategy =
+  | Icb of { max_bound : int option; cache : bool }
+      (** iterative context bounding; [max_bound = Some c] stops after
+          exploring every execution with at most [c] preemptions *)
+  | Dfs of { cache : bool }
+  | Bounded_dfs of { depth : int; cache : bool }
+      (** the paper's db:N baseline *)
+  | Iterative_dfs of { start : int; incr : int; max_depth : int; cache : bool }
+      (** iterative deepening over depth bounds *)
+  | Random_walk of { seed : int64 }
+  | Sleep_dfs
+      (** depth-first search with Godefroid-style sleep sets over dynamic
+          step footprints — the partial-order reduction the paper names as
+          the natural complement to context bounding.  Explores the same
+          reachable states as {!Dfs} with (often far) fewer executions. *)
+  | Pct of { change_points : int; seed : int64 }
+      (** probabilistic concurrency testing (Burckhardt et al., ASPLOS
+          2010): randomized priorities with [change_points - 1] random
+          demotion points per execution; needs an execution limit *)
+  | Most_enabled of { cache : bool }
+      (** best-first search preferring states with more enabled threads
+          (Groce & Visser's heuristic, cited by the paper) *)
+
+val strategy_name : strategy -> string
+
+val run :
+  (module Engine.S with type state = 's) ->
+  ?options:Collector.options ->
+  strategy ->
+  Sresult.t
+(** Explore the engine's transition system with the given strategy.
+    Never raises on limit exhaustion — limits simply yield a result with
+    [complete = false]. *)
+
+val check :
+  (module Engine.S with type state = 's) ->
+  ?options:Collector.options ->
+  ?max_bound:int ->
+  unit ->
+  Sresult.bug option
+(** Convenience one-call checker: ICB with [stop_at_first_bug]; returns the
+    first bug (which ICB guarantees has the minimal number of preemptions
+    among all bugs of its kind reachable within the bound). *)
+
+val replay :
+  (module Engine.S with type state = 's) -> int list -> 's
+(** Run a recorded schedule from the initial state; used to reproduce a
+    bug trace.  Raises [Invalid_argument] if the schedule names a thread
+    that is not enabled at some point. *)

@@ -1,0 +1,31 @@
+type bug = {
+  key : string;
+  msg : string;
+  schedule : int list;
+  preemptions : int;
+  context_switches : int;
+  depth : int;
+  execution : int;
+}
+
+type t = {
+  strategy : string;
+  executions : int;
+  distinct_states : int;
+  bugs : bug list;
+  max_steps : int;
+  max_blocks : int;
+  max_preemptions : int;
+  max_threads : int;
+  complete : bool;
+  growth : (int * int) array;
+  bound_coverage : (int * int) array;
+  total_steps : int;
+}
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>%s: %d executions, %d states, %d bugs%s@ K=%d B=%d c=%d threads=%d@]"
+    t.strategy t.executions t.distinct_states (List.length t.bugs)
+    (if t.complete then " (complete)" else "")
+    t.max_steps t.max_blocks t.max_preemptions t.max_threads

@@ -1,0 +1,30 @@
+(** Outcome of one exploration run: the numbers every table and figure of
+    the paper is built from. *)
+
+type bug = {
+  key : string;          (** stable identity for deduplication *)
+  msg : string;
+  schedule : int list;   (** replayable schedule exposing the bug *)
+  preemptions : int;     (** preemptions in the exposing execution *)
+  context_switches : int;(** total context switches (preempting or not) *)
+  depth : int;
+  execution : int;       (** index of the execution that exposed it *)
+}
+
+type t = {
+  strategy : string;
+  executions : int;           (** completed (or truncated) executions *)
+  distinct_states : int;
+  bugs : bug list;            (** deduplicated, in discovery order *)
+  max_steps : int;            (** paper's K: max execution length seen *)
+  max_blocks : int;           (** paper's B: max blocking ops in one execution *)
+  max_preemptions : int;      (** paper's c: max preemptions in one execution *)
+  max_threads : int;
+  complete : bool;            (** the strategy exhausted its search space *)
+  growth : (int * int) array; (** (executions so far, distinct states) after each execution *)
+  bound_coverage : (int * int) array;
+      (** ICB only: (context bound, distinct states) after completing each bound *)
+  total_steps : int;
+}
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bignat.ml: Array Buffer Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/util/fnv.ml: Char Int64 Printf String

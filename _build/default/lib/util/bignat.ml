@@ -1,0 +1,183 @@
+(* Little-endian limbs in base 10^9.  The empty array represents zero and is
+   the unique representation of zero (no trailing zero limbs ever stored),
+   which makes structural comparison meaningful. *)
+
+let base = 1_000_000_000
+
+type t = int array
+
+let zero = [||]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n mod base) :: limbs (n / base) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+
+let to_int_opt a =
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - a.(i)) / base then None
+    else go (i - 1) ((acc * base) + a.(i))
+  in
+  go (Array.length a - 1) 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s mod base;
+    carry := s / base
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  if lb > la then invalid_arg "Bignat.sub: negative result";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Bignat.sub: negative result";
+  normalize r
+
+let rec mul_int a m =
+  if m < 0 then invalid_arg "Bignat.mul_int: negative"
+  else if m = 0 || Array.length a = 0 then zero
+  else begin
+    let la = Array.length a in
+    (* m may exceed one limb; split it so limb products stay below 2^62 *)
+    if m < base then begin
+      let r = Array.make (la + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let p = (a.(i) * m) + !carry in
+        r.(i) <- p mod base;
+        carry := p / base
+      done;
+      r.(la) <- !carry;
+      normalize r
+    end else begin
+      (* recurse on the limb decomposition of m *)
+      let low = mul_int a (m mod base) in
+      let high = mul_int a (m / base) in
+      (* shift high by one limb *)
+      let shifted = Array.make (Array.length high + 1) 0 in
+      Array.blit high 0 shifted 1 (Array.length high);
+      add low (normalize shifted)
+    end
+  end
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let p = (a.(i) * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p mod base;
+        carry := p / base
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let p = r.(!k) + !carry in
+        r.(!k) <- p mod base;
+        carry := p / base;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let div_int_exact a d =
+  if d <= 0 then invalid_arg "Bignat.div_int_exact: non-positive divisor";
+  if d >= base then invalid_arg "Bignat.div_int_exact: divisor too large";
+  let la = Array.length a in
+  let r = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem * base) + a.(i) in
+    r.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  if !rem <> 0 then invalid_arg "Bignat.div_int_exact: inexact";
+  normalize r
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let to_string a =
+  let la = Array.length a in
+  if la = 0 then "0"
+  else begin
+    let buf = Buffer.create (la * 9) in
+    Buffer.add_string buf (string_of_int a.(la - 1));
+    for i = la - 2 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%09d" a.(i))
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let factorial n =
+  if n < 0 then invalid_arg "Bignat.factorial: negative";
+  let r = ref one in
+  for i = 2 to n do
+    r := mul_int !r i
+  done;
+  !r
+
+let binomial n k =
+  if k < 0 || k > n then zero
+  else begin
+    (* C(n,k) = prod_{i=1..k} (n-k+i)/i; each division is exact because the
+       running product after step i is C(n-k+i, i). *)
+    let k = min k (n - k) in
+    let r = ref one in
+    for i = 1 to k do
+      r := div_int_exact (mul_int !r (n - k + i)) i
+    done;
+    !r
+  end
+
+let pow a e =
+  if e < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc a e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc a) (mul a a) (e lsr 1)
+    else go acc (mul a a) (e lsr 1)
+  in
+  go one a e

@@ -1,0 +1,42 @@
+(** Arbitrary-precision natural numbers.
+
+    The Theorem 1 bound [C(nk,c) * (nb+c)!] overflows native integers for
+    every interesting benchmark, and the sealed environment provides no
+    [zarith]; this module implements the small amount of bignum arithmetic
+    the combinatorics need.  Numbers are non-negative only — subtraction
+    below zero is a programming error and raises. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int_opt : t -> int option
+(** [Some n] when the value fits in a native [int]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Raises [Invalid_argument] if the result would be negative. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val div_int_exact : t -> int -> t
+(** [div_int_exact a d] divides [a] by the positive native [d], raising
+    [Invalid_argument] if the division is not exact.  Sufficient for
+    binomial coefficients computed as products of exact fractions. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val factorial : int -> t
+val binomial : int -> int -> t
+(** [binomial n k] is [C(n,k)]; 0 when [k < 0] or [k > n]. *)
+
+val pow : t -> int -> t

@@ -1,0 +1,19 @@
+let theorem1_bound ~n ~k ~b ~c =
+  Bignat.mul (Bignat.binomial (n * k) c) (Bignat.factorial ((n * b) + c))
+
+let simplified_bound ~n ~k ~b ~c =
+  Bignat.mul
+    (Bignat.pow (Bignat.of_int (n * n * k * b)) c)
+    (Bignat.factorial (n * b))
+
+let nonblocking_bound ~n ~k ~c =
+  Bignat.mul (Bignat.pow (Bignat.of_int (n * n * k)) c) (Bignat.factorial n)
+
+(* (nk)! / (k!)^n computed without bignum division, as the telescoping
+   product of multichoose factors prod_{i=1..n} C(i*k, k). *)
+let total_executions_upper ~n ~k =
+  let r = ref Bignat.one in
+  for i = 1 to n do
+    r := Bignat.mul !r (Bignat.binomial (i * k) k)
+  done;
+  !r

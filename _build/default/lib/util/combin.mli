@@ -1,0 +1,19 @@
+(** Executable form of the paper's combinatorial bounds (Section 2).
+
+    Theorem 1: a terminating program with [n] threads, each executing at most
+    [k] steps of which at most [b] are potentially blocking, has at most
+    [C(nk, c) * (nb + c)!] executions with exactly [c] preemptions. *)
+
+val theorem1_bound : n:int -> k:int -> b:int -> c:int -> Bignat.t
+(** The exact bound [C(nk,c) * (nb+c)!]. *)
+
+val simplified_bound : n:int -> k:int -> b:int -> c:int -> Bignat.t
+(** The paper's simplification [(n^2 k b)^c * (nb)!], valid when [c] is much
+    smaller than both [k] and [nb]. *)
+
+val nonblocking_bound : n:int -> k:int -> c:int -> Bignat.t
+(** The non-blocking specialization [(n^2 k)^c * n!] obtained with [b = 1]. *)
+
+val total_executions_upper : n:int -> k:int -> Bignat.t
+(** The unbounded-search explosion the paper opens with: [(nk)! / (k!)^n],
+    the number of interleavings of [n] threads of [k] steps each. *)

@@ -1,0 +1,35 @@
+type t = int64
+
+let basis = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let char h c =
+  Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := char !h c) s;
+  !h
+
+let int h n =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h ((n lsr (8 * i)) land 0xff)
+  done;
+  !h
+
+let int64 h n =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical n (8 * i)))
+  done;
+  !h
+
+let hash_string s = string basis s
+
+let combine_commutative = Int64.add
+
+let to_hex h = Printf.sprintf "%016Lx" h

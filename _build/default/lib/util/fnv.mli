@@ -1,0 +1,35 @@
+(** 64-bit FNV-1a hashing.
+
+    Used throughout the checker to fingerprint program states and
+    happens-before signatures.  FNV-1a is chosen because it is trivially
+    incremental: a hash value can be extended byte by byte, which lets the
+    interpreter maintain running state signatures without serializing whole
+    states. *)
+
+type t = int64
+
+val basis : t
+(** The FNV-1a 64-bit offset basis. *)
+
+val string : t -> string -> t
+(** [string h s] extends [h] with the bytes of [s]. *)
+
+val int : t -> int -> t
+(** [int h n] extends [h] with the 8 little-endian bytes of [n]. *)
+
+val int64 : t -> int64 -> t
+(** [int64 h n] extends [h] with the 8 little-endian bytes of [n]. *)
+
+val char : t -> char -> t
+(** [char h c] extends [h] with the single byte [c]. *)
+
+val hash_string : string -> t
+(** [hash_string s] is [string basis s]. *)
+
+val combine_commutative : t -> t -> t
+(** Order-insensitive combination of two hashes (wrapping addition).
+    Used where a set of sub-hashes must hash identically regardless of the
+    order in which its elements were encountered. *)
+
+val to_hex : t -> string
+(** Render as a 16-character lowercase hex string. *)

@@ -1,0 +1,1 @@
+lib/zlang/ast.mli: Lexer

@@ -1,0 +1,1 @@
+lib/zlang/buffer_array.mli:

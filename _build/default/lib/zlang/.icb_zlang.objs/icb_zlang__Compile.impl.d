@@ -1,0 +1,1 @@
+lib/zlang/compile.ml: Array Ast Buffer_array Icb_machine List Tast

@@ -1,0 +1,1 @@
+lib/zlang/compile.mli: Icb_machine Tast

@@ -1,0 +1,1 @@
+lib/zlang/lexer.ml: Buffer Format List Printf String Token

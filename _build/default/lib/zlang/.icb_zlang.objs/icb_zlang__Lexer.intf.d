@@ -1,0 +1,1 @@
+lib/zlang/lexer.mli: Format Token

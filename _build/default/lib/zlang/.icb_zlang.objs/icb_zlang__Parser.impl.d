@@ -1,0 +1,1 @@
+lib/zlang/parser.ml: Array Ast Lexer List Printf Token

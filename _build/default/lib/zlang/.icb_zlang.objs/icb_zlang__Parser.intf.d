@@ -1,0 +1,1 @@
+lib/zlang/parser.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/zlang/pretty.ml: Ast Format List

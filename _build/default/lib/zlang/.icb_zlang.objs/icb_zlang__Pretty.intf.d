@@ -1,0 +1,1 @@
+lib/zlang/pretty.mli: Ast Format

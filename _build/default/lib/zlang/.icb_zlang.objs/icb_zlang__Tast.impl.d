@@ -1,0 +1,1 @@
+lib/zlang/tast.ml: Ast Icb_machine

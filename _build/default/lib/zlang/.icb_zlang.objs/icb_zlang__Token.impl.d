@@ -1,0 +1,1 @@
+lib/zlang/token.ml: List Printf

@@ -1,0 +1,1 @@
+lib/zlang/token.mli:

@@ -1,0 +1,1 @@
+lib/zlang/typecheck.ml: Array Ast Format Hashtbl Icb_machine Lexer List Tast

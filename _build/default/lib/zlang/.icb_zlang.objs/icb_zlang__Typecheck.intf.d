@@ -1,0 +1,1 @@
+lib/zlang/typecheck.mli: Ast Tast

@@ -1,0 +1,1 @@
+lib/zlang/zl.ml: Compile Fun Lexer Parser Typecheck

@@ -1,0 +1,1 @@
+lib/zlang/zl.mli: Ast Icb_machine

@@ -1,0 +1,117 @@
+type pos = Lexer.pos
+
+type typ =
+  | Tint
+  | Tbool
+  | Thandle
+
+type unop =
+  | Uneg
+  | Unot
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Band | Bor
+
+type expr = {
+  e : expr_node;
+  epos : pos;
+}
+
+and expr_node =
+  | Eint of int
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Eindex of string * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+
+type objref = {
+  oname : string;
+  oindex : expr option;
+  opos : pos;
+}
+
+type gtarget = {
+  tname : string;
+  tindex : expr option;
+  tpos : pos;
+}
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+
+type sync_op =
+  | Olock | Ounlock
+  | Owait | Osignal | Oreset
+  | Oacquire | Orelease
+
+type stmt = {
+  s : stmt_node;
+  spos : pos;
+}
+
+and stmt_node =
+  | Sdecl of { name : string; typ : typ; init : expr option }
+  | Sassign of lvalue * expr
+  | Scas of { dst : string; glob : gtarget; expect : expr; update : expr }
+  | Sfetch_add of { dst : string; glob : gtarget; delta : expr }
+  | Salloc of { dst : string; size : expr }
+  | Sfree of string
+  | Ssync of sync_op * objref
+  | Sspawn of { proc : string; args : expr list }
+  | Syield
+  | Sskip
+  | Sassert of expr * string
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Satomic of block
+  | Sbreak
+  | Scontinue
+  | Sreturn
+
+and block = stmt list
+
+type global_decl = {
+  g_name : string;
+  g_type : typ;
+  g_size : expr option;
+  g_init : expr option;
+  g_volatile : bool;
+  g_pos : pos;
+}
+
+type sync_kind_decl =
+  | Dmutex
+  | Devent of { manual : bool; signaled : bool }
+  | Dsem of expr option
+
+type sync_decl = {
+  s_name : string;
+  s_kind : sync_kind_decl;
+  s_size : expr option;
+  s_pos : pos;
+}
+
+type proc_decl = {
+  p_name : string;
+  p_params : (string * typ) list;
+  p_body : block;
+  p_pos : pos;
+}
+
+type program = {
+  globals : global_decl list;
+  syncs : sync_decl list;
+  procs : proc_decl list;
+}
+
+let dummy_pos : pos = { line = 0; col = 0 }
+
+let typ_to_string = function
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Thandle -> "handle"

@@ -1,0 +1,11 @@
+(** A growable array, used by the code emitter (jump patching needs
+    random-access writes, which rules out plain lists). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array

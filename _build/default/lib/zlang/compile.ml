@@ -1,0 +1,237 @@
+module Instr = Icb_machine.Instr
+module Prog = Icb_machine.Prog
+module Value = Icb_machine.Value
+
+(* Per-procedure emission state.  Temporaries live above the named locals;
+   the temp cursor resets at every statement (values never flow across
+   statements except through named locals). *)
+type emitter = {
+  code : Instr.t Buffer_array.t;
+  nlocals : int;
+  mutable temp : int;
+  mutable max_reg : int;
+}
+
+let fresh_temp em =
+  let r = em.nlocals + em.temp in
+  em.temp <- em.temp + 1;
+  em.max_reg <- max em.max_reg (r + 1);
+  r
+
+let reset_temps em = em.temp <- 0
+
+let emit em i = Buffer_array.push em.code i
+
+let here em = Buffer_array.length em.code
+
+(* Emit a jump with a to-be-patched target; returns the patch handle. *)
+let emit_jump em =
+  let at = here em in
+  emit em (Instr.Jump (-1));
+  at
+
+let emit_jz em cond =
+  let at = here em in
+  emit em (Instr.Jump_if_zero { cond; target = -1 });
+  at
+
+let patch em at target =
+  match Buffer_array.get em.code at with
+  | Instr.Jump _ -> Buffer_array.set em.code at (Instr.Jump target)
+  | Instr.Jump_if_zero { cond; _ } ->
+    Buffer_array.set em.code at (Instr.Jump_if_zero { cond; target })
+  | _ -> invalid_arg "Compile.patch: not a jump"
+
+let prim_of_binop : Ast.binop -> Instr.prim = function
+  | Ast.Badd -> Instr.Add
+  | Ast.Bsub -> Instr.Sub
+  | Ast.Bmul -> Instr.Mul
+  | Ast.Bdiv -> Instr.Div
+  | Ast.Bmod -> Instr.Mod
+  | Ast.Beq -> Instr.Eq
+  | Ast.Bne -> Instr.Ne
+  | Ast.Blt -> Instr.Lt
+  | Ast.Ble -> Instr.Le
+  | Ast.Bgt -> Instr.Gt
+  | Ast.Bge -> Instr.Ge
+  | Ast.Band -> Instr.And
+  | Ast.Bor -> Instr.Or
+
+(* Compile an expression to an operand.  Constants become immediates;
+   everything else lands in a register. *)
+let rec expr em (e : Tast.expr) : Instr.operand =
+  match e.te with
+  | Tast.Tint n -> Instr.Imm (Value.Int n)
+  | Tast.Tbool b -> Instr.Imm (Value.Bool b)
+  | Tast.Tnull -> Instr.Imm Value.null
+  | Tast.Tlocal r -> Instr.Reg r
+  | Tast.Tglobal { gid; idx } ->
+    let iop = index_operand em idx in
+    let dst = fresh_temp em in
+    emit em (Instr.Load { dst; gid; idx = iop });
+    Instr.Reg dst
+  | Tast.Theap { h; idx } ->
+    let hop = expr em h in
+    let iop = expr em idx in
+    let dst = fresh_temp em in
+    emit em (Instr.Load_heap { dst; h = hop; idx = iop });
+    Instr.Reg dst
+  | Tast.Tunop (op, a) ->
+    let aop = expr em a in
+    let dst = fresh_temp em in
+    let prim = match op with Ast.Uneg -> Instr.Neg | Ast.Unot -> Instr.Not in
+    emit em (Instr.Prim { dst; op = prim; args = [ aop ] });
+    Instr.Reg dst
+  | Tast.Tbinop (Ast.Band, a, b) ->
+    (* dst := a; if dst then dst := b *)
+    let dst = fresh_temp em in
+    let aop = expr em a in
+    emit em (Instr.Mov { dst; src = aop });
+    let skip = emit_jz em (Instr.Reg dst) in
+    let bop = expr em b in
+    emit em (Instr.Mov { dst; src = bop });
+    patch em skip (here em);
+    Instr.Reg dst
+  | Tast.Tbinop (Ast.Bor, a, b) ->
+    (* dst := a; if !dst then dst := b *)
+    let dst = fresh_temp em in
+    let aop = expr em a in
+    emit em (Instr.Mov { dst; src = aop });
+    let neg = fresh_temp em in
+    emit em (Instr.Prim { dst = neg; op = Instr.Not; args = [ Instr.Reg dst ] });
+    let skip = emit_jz em (Instr.Reg neg) in
+    let bop = expr em b in
+    emit em (Instr.Mov { dst; src = bop });
+    patch em skip (here em);
+    Instr.Reg dst
+  | Tast.Tbinop (op, a, b) ->
+    let aop = expr em a in
+    let bop = expr em b in
+    let dst = fresh_temp em in
+    emit em (Instr.Prim { dst; op = prim_of_binop op; args = [ aop; bop ] });
+    Instr.Reg dst
+
+and index_operand em = function
+  | None -> Instr.Imm (Value.Int 0)
+  | Some e -> expr em e
+
+let objref em ({ sid; sidx } : Tast.objref) : Instr.objref =
+  { Instr.sid; sidx = index_operand em sidx }
+
+type loop_ctx = {
+  break_patches : int list ref;
+  continue_target : int;
+}
+
+let rec stmt em ~loop (st : Tast.stmt) =
+  reset_temps em;
+  match st with
+  | Tast.Tassign_local { reg; rhs } ->
+    let op = expr em rhs in
+    emit em (Instr.Mov { dst = reg; src = op })
+  | Tast.Tassign_global { gid; idx; rhs } ->
+    let iop = index_operand em idx in
+    let rop = expr em rhs in
+    emit em (Instr.Store { gid; idx = iop; src = rop })
+  | Tast.Tassign_heap { h; idx; rhs } ->
+    let hop = expr em h in
+    let iop = expr em idx in
+    let rop = expr em rhs in
+    emit em (Instr.Store_heap { h = hop; idx = iop; src = rop })
+  | Tast.Tcas { reg; gid; idx; expect; update } ->
+    let iop = index_operand em idx in
+    let eop = expr em expect in
+    let uop = expr em update in
+    emit em (Instr.Cas { dst = reg; gid; idx = iop; expect = eop; update = uop })
+  | Tast.Tfetch_add { reg; gid; idx; delta } ->
+    let iop = index_operand em idx in
+    let dop = expr em delta in
+    emit em (Instr.Fetch_add { dst = reg; gid; idx = iop; delta = dop })
+  | Tast.Talloc { reg; size } ->
+    let sop = expr em size in
+    emit em (Instr.Alloc { dst = reg; size = sop })
+  | Tast.Tfree { reg } -> emit em (Instr.Free { h = Instr.Reg reg })
+  | Tast.Tsync (op, o) ->
+    let o = objref em o in
+    emit em
+      (match op with
+      | Ast.Olock -> Instr.Lock o
+      | Ast.Ounlock -> Instr.Unlock o
+      | Ast.Owait -> Instr.Wait o
+      | Ast.Osignal -> Instr.Signal o
+      | Ast.Oreset -> Instr.Reset o
+      | Ast.Oacquire -> Instr.Sem_acquire o
+      | Ast.Orelease -> Instr.Sem_release o)
+  | Tast.Tspawn { proc; args } ->
+    let ops = List.map (expr em) args in
+    emit em (Instr.Spawn { proc; args = ops })
+  | Tast.Tyield -> emit em Instr.Yield
+  | Tast.Tskip -> ()
+  | Tast.Tassert (e, msg) ->
+    let op = expr em e in
+    emit em (Instr.Assert { cond = op; msg })
+  | Tast.Tif (cond, then_b, else_b) ->
+    let cop = expr em cond in
+    let to_else = emit_jz em cop in
+    List.iter (stmt em ~loop) then_b;
+    if else_b = [] then patch em to_else (here em)
+    else begin
+      let to_end = emit_jump em in
+      patch em to_else (here em);
+      List.iter (stmt em ~loop) else_b;
+      patch em to_end (here em)
+    end
+  | Tast.Tatomic body ->
+    emit em Instr.Atomic_begin;
+    List.iter (stmt em ~loop) body;
+    emit em Instr.Atomic_end
+  | Tast.Twhile (cond, body) ->
+    let top = here em in
+    let cop = expr em cond in
+    let exit_jump = emit_jz em cop in
+    let break_patches = ref [] in
+    let ctx = { break_patches; continue_target = top } in
+    List.iter (stmt em ~loop:(Some ctx)) body;
+    emit em (Instr.Jump top);
+    patch em exit_jump (here em);
+    List.iter (fun at -> patch em at (here em)) !break_patches
+  | Tast.Tbreak -> (
+    match loop with
+    | Some ctx -> ctx.break_patches := emit_jump em :: !(ctx.break_patches)
+    | None -> invalid_arg "Compile: break outside loop")
+  | Tast.Tcontinue -> (
+    match loop with
+    | Some ctx -> emit em (Instr.Jump ctx.continue_target)
+    | None -> invalid_arg "Compile: continue outside loop")
+  | Tast.Treturn -> emit em Instr.Halt
+
+let proc (p : Tast.proc) : Prog.proc =
+  let em =
+    {
+      code = Buffer_array.create ();
+      nlocals = p.tp_nlocals;
+      temp = 0;
+      max_reg = p.tp_nlocals;
+    }
+  in
+  List.iter (stmt em ~loop:None) p.tp_body;
+  emit em Instr.Halt;
+  {
+    Prog.pname = p.tp_name;
+    nparams = p.tp_nparams;
+    nregs = max 1 em.max_reg;
+    code = Buffer_array.to_array em.code;
+  }
+
+let program (tp : Tast.program) : Prog.t =
+  let prog =
+    {
+      Prog.globals = tp.tglobals;
+      syncs = tp.tsyncs;
+      procs = Array.map proc tp.tprocs;
+      main = tp.tmain;
+    }
+  in
+  match Prog.validate prog with
+  | Ok () -> prog
+  | Error msg -> invalid_arg ("Compile.program: generated invalid code: " ^ msg)

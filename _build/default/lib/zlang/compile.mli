@@ -1,0 +1,11 @@
+(** Code generation: typed AST to the guest instruction set.
+
+    The generated code maintains the machine's key invariant — at most one
+    shared-variable access per instruction — by decomposing expressions:
+    every global, array or heap read becomes its own [Load] into a
+    temporary register, evaluated left to right.  [&&] and [||]
+    short-circuit, so their right operands' shared accesses happen only
+    when the left operand does not decide the result. *)
+
+val program : Tast.program -> Icb_machine.Prog.t
+(** The result always passes [Prog.validate]. *)

@@ -1,0 +1,163 @@
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "line %d, column %d" line col
+
+type cursor = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c = if c.off < String.length c.src then Some c.src.[c.off] else None
+
+let peek2 c =
+  if c.off + 1 < String.length c.src then Some c.src.[c.off + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.off <- c.off + 1
+
+let pos_of c = { line = c.line; col = c.col }
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+    let rec to_eol () =
+      match peek c with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance c;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia c
+  | Some '/' when peek2 c = Some '*' ->
+    let start = pos_of c in
+    advance c;
+    advance c;
+    let rec to_close () =
+      match peek c with
+      | None -> raise (Error (start, "unterminated comment"))
+      | Some '*' when peek2 c = Some '/' ->
+        advance c;
+        advance c
+      | Some _ ->
+        advance c;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia c
+  | Some _ | None -> ()
+
+let lex_number c =
+  let start = c.off in
+  while match peek c with Some ch -> is_digit ch | None -> false do
+    advance c
+  done;
+  let text = String.sub c.src start (c.off - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> raise (Error (pos_of c, "integer literal out of range: " ^ text))
+
+let lex_ident c =
+  let start = c.off in
+  while match peek c with Some ch -> is_ident ch | None -> false do
+    advance c
+  done;
+  let text = String.sub c.src start (c.off - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+let lex_string c =
+  let start = pos_of c in
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Error (start, "unterminated string literal"))
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c; go ()
+      | Some '"' -> Buffer.add_char buf '"'; advance c; go ()
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance c; go ()
+      | Some ch -> raise (Error (pos_of c, Printf.sprintf "bad escape \\%c" ch))
+      | None -> raise (Error (start, "unterminated string literal")))
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let lex_symbol c =
+  let p = pos_of c in
+  let two tok = advance c; advance c; tok in
+  let one tok = advance c; tok in
+  match peek c, peek2 c with
+  | Some '=', Some '=' -> two Token.EQ
+  | Some '!', Some '=' -> two Token.NE
+  | Some '<', Some '=' -> two Token.LE
+  | Some '>', Some '=' -> two Token.GE
+  | Some '&', Some '&' -> two Token.ANDAND
+  | Some '|', Some '|' -> two Token.OROR
+  | Some '=', _ -> one Token.ASSIGN
+  | Some '<', _ -> one Token.LT
+  | Some '>', _ -> one Token.GT
+  | Some '!', _ -> one Token.BANG
+  | Some '+', _ -> one Token.PLUS
+  | Some '-', _ -> one Token.MINUS
+  | Some '*', _ -> one Token.STAR
+  | Some '/', _ -> one Token.SLASH
+  | Some '%', _ -> one Token.PERCENT
+  | Some '(', _ -> one Token.LPAREN
+  | Some ')', _ -> one Token.RPAREN
+  | Some '{', _ -> one Token.LBRACE
+  | Some '}', _ -> one Token.RBRACE
+  | Some '[', _ -> one Token.LBRACKET
+  | Some ']', _ -> one Token.RBRACKET
+  | Some ';', _ -> one Token.SEMI
+  | Some ',', _ -> one Token.COMMA
+  | Some ':', _ -> one Token.COLON
+  | Some ch, _ -> raise (Error (p, Printf.sprintf "unexpected character %C" ch))
+  | None, _ -> Token.EOF
+
+let tokenize src =
+  let c = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_trivia c;
+    let p = pos_of c in
+    match peek c with
+    | None -> List.rev ((Token.EOF, p) :: acc)
+    | Some ch ->
+      let tok =
+        if is_digit ch then lex_number c
+        else if is_ident_start ch then lex_ident c
+        else if ch = '"' then lex_string c
+        else lex_symbol c
+      in
+      go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,15 @@
+(** Hand-written lexer for the modeling language.
+
+    Comments are [//] to end of line and non-nesting [/* ... */].  String
+    literals support backslash escapes for backslash, double quote,
+    newline and tab. *)
+
+type pos = { line : int; col : int }
+
+exception Error of pos * string
+
+val pp_pos : Format.formatter -> pos -> unit
+
+val tokenize : string -> (Token.t * pos) list
+(** Token stream of the whole input, ending with [EOF].
+    Raises {!Error} on malformed input. *)

@@ -1,0 +1,474 @@
+exception Error of Lexer.pos * string
+
+type stream = {
+  toks : (Token.t * Lexer.pos) array;
+  mutable i : int;
+}
+
+let peek s = fst s.toks.(s.i)
+let pos s = snd s.toks.(s.i)
+let advance s = if s.i < Array.length s.toks - 1 then s.i <- s.i + 1
+
+let fail s msg = raise (Error (pos s, msg))
+
+let expect s tok =
+  if peek s = tok then advance s
+  else
+    fail s
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek s)))
+
+let accept s tok =
+  if peek s = tok then begin
+    advance s;
+    true
+  end
+  else false
+
+let ident s =
+  match peek s with
+  | Token.IDENT name ->
+    advance s;
+    name
+  | t -> fail s (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let typ s =
+  match peek s with
+  | Token.KW_int -> advance s; Ast.Tint
+  | Token.KW_bool -> advance s; Ast.Tbool
+  | Token.KW_handle -> advance s; Ast.Thandle
+  | t -> fail s (Printf.sprintf "expected a type, found %s" (Token.to_string t))
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec expr s = or_expr s
+
+and or_expr s =
+  let rec go lhs =
+    let p = pos s in
+    if accept s Token.OROR then
+      go { Ast.e = Ast.Ebinop (Ast.Bor, lhs, and_expr s); epos = p }
+    else lhs
+  in
+  go (and_expr s)
+
+and and_expr s =
+  let rec go lhs =
+    let p = pos s in
+    if accept s Token.ANDAND then
+      go { Ast.e = Ast.Ebinop (Ast.Band, lhs, cmp_expr s); epos = p }
+    else lhs
+  in
+  go (cmp_expr s)
+
+and cmp_expr s =
+  let op_of = function
+    | Token.EQ -> Some Ast.Beq
+    | Token.NE -> Some Ast.Bne
+    | Token.LT -> Some Ast.Blt
+    | Token.LE -> Some Ast.Ble
+    | Token.GT -> Some Ast.Bgt
+    | Token.GE -> Some Ast.Bge
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of (peek s) with
+    | Some op ->
+      let p = pos s in
+      advance s;
+      go { Ast.e = Ast.Ebinop (op, lhs, add_expr s); epos = p }
+    | None -> lhs
+  in
+  go (add_expr s)
+
+and add_expr s =
+  let rec go lhs =
+    let p = pos s in
+    if accept s Token.PLUS then
+      go { Ast.e = Ast.Ebinop (Ast.Badd, lhs, mul_expr s); epos = p }
+    else if accept s Token.MINUS then
+      go { Ast.e = Ast.Ebinop (Ast.Bsub, lhs, mul_expr s); epos = p }
+    else lhs
+  in
+  go (mul_expr s)
+
+and mul_expr s =
+  let rec go lhs =
+    let p = pos s in
+    if accept s Token.STAR then
+      go { Ast.e = Ast.Ebinop (Ast.Bmul, lhs, unary_expr s); epos = p }
+    else if accept s Token.SLASH then
+      go { Ast.e = Ast.Ebinop (Ast.Bdiv, lhs, unary_expr s); epos = p }
+    else if accept s Token.PERCENT then
+      go { Ast.e = Ast.Ebinop (Ast.Bmod, lhs, unary_expr s); epos = p }
+    else lhs
+  in
+  go (unary_expr s)
+
+and unary_expr s =
+  let p = pos s in
+  if accept s Token.MINUS then
+    { Ast.e = Ast.Eunop (Ast.Uneg, unary_expr s); epos = p }
+  else if accept s Token.BANG then
+    { Ast.e = Ast.Eunop (Ast.Unot, unary_expr s); epos = p }
+  else primary_expr s
+
+and primary_expr s =
+  let p = pos s in
+  match peek s with
+  | Token.INT n ->
+    advance s;
+    { Ast.e = Ast.Eint n; epos = p }
+  | Token.KW_true ->
+    advance s;
+    { Ast.e = Ast.Ebool true; epos = p }
+  | Token.KW_false ->
+    advance s;
+    { Ast.e = Ast.Ebool false; epos = p }
+  | Token.KW_null ->
+    advance s;
+    { Ast.e = Ast.Enull; epos = p }
+  | Token.IDENT name ->
+    advance s;
+    if accept s Token.LBRACKET then begin
+      let idx = expr s in
+      expect s Token.RBRACKET;
+      { Ast.e = Ast.Eindex (name, idx); epos = p }
+    end
+    else { Ast.e = Ast.Evar name; epos = p }
+  | Token.LPAREN ->
+    advance s;
+    let e = expr s in
+    expect s Token.RPAREN;
+    e
+  | t -> fail s (Printf.sprintf "expected an expression, found %s" (Token.to_string t))
+
+(* --- statements -------------------------------------------------------- *)
+
+let objref s =
+  let p = pos s in
+  let name = ident s in
+  let idx =
+    if accept s Token.LBRACKET then begin
+      let e = expr s in
+      expect s Token.RBRACKET;
+      Some e
+    end
+    else None
+  in
+  { Ast.oname = name; oindex = idx; opos = p }
+
+let gtarget s =
+  let p = pos s in
+  let name = ident s in
+  let idx =
+    if accept s Token.LBRACKET then begin
+      let e = expr s in
+      expect s Token.RBRACKET;
+      Some e
+    end
+    else None
+  in
+  { Ast.tname = name; tindex = idx; tpos = p }
+
+let rec block s =
+  expect s Token.LBRACE;
+  let rec go acc =
+    if accept s Token.RBRACE then List.rev acc else go (stmt s :: acc)
+  in
+  go []
+
+and stmt s =
+  let p = pos s in
+  let mk node = { Ast.s = node; spos = p } in
+  let sync_stmt op =
+    advance s;
+    expect s Token.LPAREN;
+    let o = objref s in
+    expect s Token.RPAREN;
+    expect s Token.SEMI;
+    mk (Ast.Ssync (op, o))
+  in
+  match peek s with
+  | Token.KW_var ->
+    advance s;
+    let name = ident s in
+    expect s Token.COLON;
+    let t = typ s in
+    let init = if accept s Token.ASSIGN then Some (expr s) else None in
+    expect s Token.SEMI;
+    mk (Ast.Sdecl { name; typ = t; init })
+  | Token.KW_lock -> sync_stmt Ast.Olock
+  | Token.KW_unlock -> sync_stmt Ast.Ounlock
+  | Token.KW_wait -> sync_stmt Ast.Owait
+  | Token.KW_signal -> sync_stmt Ast.Osignal
+  | Token.KW_reset -> sync_stmt Ast.Oreset
+  | Token.KW_acquire -> sync_stmt Ast.Oacquire
+  | Token.KW_release -> sync_stmt Ast.Orelease
+  | Token.KW_free ->
+    advance s;
+    expect s Token.LPAREN;
+    let name = ident s in
+    expect s Token.RPAREN;
+    expect s Token.SEMI;
+    mk (Ast.Sfree name)
+  | Token.KW_spawn ->
+    advance s;
+    let proc = ident s in
+    expect s Token.LPAREN;
+    let args =
+      if peek s = Token.RPAREN then []
+      else
+        let rec go acc =
+          let e = expr s in
+          if accept s Token.COMMA then go (e :: acc) else List.rev (e :: acc)
+        in
+        go []
+    in
+    expect s Token.RPAREN;
+    expect s Token.SEMI;
+    mk (Ast.Sspawn { proc; args })
+  | Token.KW_yield ->
+    advance s;
+    expect s Token.SEMI;
+    mk Ast.Syield
+  | Token.KW_skip ->
+    advance s;
+    expect s Token.SEMI;
+    mk Ast.Sskip
+  | Token.KW_break ->
+    advance s;
+    expect s Token.SEMI;
+    mk Ast.Sbreak
+  | Token.KW_continue ->
+    advance s;
+    expect s Token.SEMI;
+    mk Ast.Scontinue
+  | Token.KW_return ->
+    advance s;
+    expect s Token.SEMI;
+    mk Ast.Sreturn
+  | Token.KW_assert ->
+    advance s;
+    expect s Token.LPAREN;
+    let e = expr s in
+    let msg =
+      if accept s Token.COMMA then begin
+        match peek s with
+        | Token.STRING m ->
+          advance s;
+          m
+        | t ->
+          fail s
+            (Printf.sprintf "expected a string message, found %s"
+               (Token.to_string t))
+      end
+      else "assertion failed"
+    in
+    expect s Token.RPAREN;
+    expect s Token.SEMI;
+    mk (Ast.Sassert (e, msg))
+  | Token.KW_if -> if_stmt s
+  | Token.KW_while ->
+    advance s;
+    expect s Token.LPAREN;
+    let cond = expr s in
+    expect s Token.RPAREN;
+    let body = block s in
+    mk (Ast.Swhile (cond, body))
+  | Token.KW_atomic ->
+    advance s;
+    mk (Ast.Satomic (block s))
+  | Token.IDENT _ ->
+    let name = ident s in
+    let lv =
+      if accept s Token.LBRACKET then begin
+        let idx = expr s in
+        expect s Token.RBRACKET;
+        Ast.Lindex (name, idx)
+      end
+      else Ast.Lvar name
+    in
+    expect s Token.ASSIGN;
+    let node =
+      match peek s, lv with
+      | Token.KW_cas, Ast.Lvar dst ->
+        advance s;
+        expect s Token.LPAREN;
+        let glob = gtarget s in
+        expect s Token.COMMA;
+        let expect_v = expr s in
+        expect s Token.COMMA;
+        let update = expr s in
+        expect s Token.RPAREN;
+        Ast.Scas { dst; glob; expect = expect_v; update }
+      | Token.KW_fetch_add, Ast.Lvar dst ->
+        advance s;
+        expect s Token.LPAREN;
+        let glob = gtarget s in
+        expect s Token.COMMA;
+        let delta = expr s in
+        expect s Token.RPAREN;
+        Ast.Sfetch_add { dst; glob; delta }
+      | Token.KW_alloc, Ast.Lvar dst ->
+        advance s;
+        expect s Token.LPAREN;
+        let size = expr s in
+        expect s Token.RPAREN;
+        Ast.Salloc { dst; size }
+      | (Token.KW_cas | Token.KW_fetch_add | Token.KW_alloc), Ast.Lindex _ ->
+        fail s "cas/fetch_add/alloc results must be assigned to a local variable"
+      | _ -> Ast.Sassign (lv, expr s)
+    in
+    expect s Token.SEMI;
+    mk node
+  | t -> fail s (Printf.sprintf "expected a statement, found %s" (Token.to_string t))
+
+and if_stmt s =
+  let p = pos s in
+  expect s Token.KW_if;
+  expect s Token.LPAREN;
+  let cond = expr s in
+  expect s Token.RPAREN;
+  let then_b = block s in
+  let else_b =
+    if accept s Token.KW_else then
+      if peek s = Token.KW_if then [ if_stmt s ] else block s
+    else []
+  in
+  { Ast.s = Ast.Sif (cond, then_b, else_b); spos = p }
+
+(* --- top-level declarations -------------------------------------------- *)
+
+let array_suffix s =
+  if accept s Token.LBRACKET then begin
+    let e = expr s in
+    expect s Token.RBRACKET;
+    Some e
+  end
+  else None
+
+let parse_program s =
+  let globals = ref [] in
+  let syncs = ref [] in
+  let procs = ref [] in
+  let global_decl ~volatile =
+    let p = pos s in
+    expect s Token.KW_var;
+    let name = ident s in
+    let size = array_suffix s in
+    expect s Token.COLON;
+    let t = typ s in
+    let init = if accept s Token.ASSIGN then Some (expr s) else None in
+    expect s Token.SEMI;
+    globals :=
+      {
+        Ast.g_name = name;
+        g_type = t;
+        g_size = size;
+        g_init = init;
+        g_volatile = volatile;
+        g_pos = p;
+      }
+      :: !globals
+  in
+  let rec go () =
+    match peek s with
+    | Token.EOF -> ()
+    | Token.KW_volatile ->
+      advance s;
+      global_decl ~volatile:true;
+      go ()
+    | Token.KW_var ->
+      global_decl ~volatile:false;
+      go ()
+    | Token.KW_mutex ->
+      let p = pos s in
+      advance s;
+      let name = ident s in
+      let size = array_suffix s in
+      expect s Token.SEMI;
+      syncs :=
+        { Ast.s_name = name; s_kind = Ast.Dmutex; s_size = size; s_pos = p }
+        :: !syncs;
+      go ()
+    | Token.KW_event ->
+      let p = pos s in
+      advance s;
+      let manual = accept s Token.KW_manual in
+      let signaled = accept s Token.KW_signaled in
+      let name = ident s in
+      let size = array_suffix s in
+      expect s Token.SEMI;
+      syncs :=
+        {
+          Ast.s_name = name;
+          s_kind = Ast.Devent { manual; signaled };
+          s_size = size;
+          s_pos = p;
+        }
+        :: !syncs;
+      go ()
+    | Token.KW_sem ->
+      let p = pos s in
+      advance s;
+      let name = ident s in
+      let size = array_suffix s in
+      let init = if accept s Token.ASSIGN then Some (expr s) else None in
+      expect s Token.SEMI;
+      syncs :=
+        { Ast.s_name = name; s_kind = Ast.Dsem init; s_size = size; s_pos = p }
+        :: !syncs;
+      go ()
+    | Token.KW_proc ->
+      let p = pos s in
+      advance s;
+      let name = ident s in
+      expect s Token.LPAREN;
+      let params =
+        if peek s = Token.RPAREN then []
+        else
+          let rec params_go acc =
+            let pname = ident s in
+            expect s Token.COLON;
+            let t = typ s in
+            if accept s Token.COMMA then params_go ((pname, t) :: acc)
+            else List.rev ((pname, t) :: acc)
+          in
+          params_go []
+      in
+      expect s Token.RPAREN;
+      let body = block s in
+      procs :=
+        { Ast.p_name = name; p_params = params; p_body = body; p_pos = p }
+        :: !procs;
+      go ()
+    | Token.KW_main ->
+      let p = pos s in
+      advance s;
+      let body = block s in
+      procs :=
+        { Ast.p_name = "main"; p_params = []; p_body = body; p_pos = p }
+        :: !procs;
+      go ()
+    | t ->
+      fail s
+        (Printf.sprintf "expected a top-level declaration, found %s"
+           (Token.to_string t))
+  in
+  go ();
+  {
+    Ast.globals = List.rev !globals;
+    syncs = List.rev !syncs;
+    procs = List.rev !procs;
+  }
+
+let stream_of_source src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+
+let parse src = parse_program (stream_of_source src)
+
+let parse_expr src =
+  let s = stream_of_source src in
+  let e = expr s in
+  expect s Token.EOF;
+  e

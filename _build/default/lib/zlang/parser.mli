@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the modeling language.
+
+    Expression precedence, loosest first:
+    [||] < [&&] < comparisons < [+ -] < [* / %] < unary [- !].
+    Binary operators associate to the left. *)
+
+exception Error of Lexer.pos * string
+
+val parse : string -> Ast.program
+(** Parse a whole program from source text.  Raises {!Error} or
+    {!Lexer.Error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and the REPL-ish tooling). *)

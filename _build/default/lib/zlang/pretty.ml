@@ -1,0 +1,143 @@
+(* Precedence levels, loosest first; used to parenthesize minimally. *)
+let prec_of_binop = function
+  | Ast.Bor -> 1
+  | Ast.Band -> 2
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge -> 3
+  | Ast.Badd | Ast.Bsub -> 4
+  | Ast.Bmul | Ast.Bdiv | Ast.Bmod -> 5
+
+let binop_symbol = function
+  | Ast.Badd -> "+" | Ast.Bsub -> "-" | Ast.Bmul -> "*"
+  | Ast.Bdiv -> "/" | Ast.Bmod -> "%"
+  | Ast.Beq -> "==" | Ast.Bne -> "!=" | Ast.Blt -> "<" | Ast.Ble -> "<="
+  | Ast.Bgt -> ">" | Ast.Bge -> ">="
+  | Ast.Band -> "&&" | Ast.Bor -> "||"
+
+let rec pp_expr_prec prec fmt (e : Ast.expr) =
+  match e.e with
+  | Ast.Eint n ->
+    if n < 0 then Format.fprintf fmt "(%d)" n else Format.fprintf fmt "%d" n
+  | Ast.Ebool b -> Format.fprintf fmt "%b" b
+  | Ast.Enull -> Format.fprintf fmt "null"
+  | Ast.Evar name -> Format.fprintf fmt "%s" name
+  | Ast.Eindex (name, idx) ->
+    Format.fprintf fmt "%s[%a]" name (pp_expr_prec 0) idx
+  | Ast.Eunop (op, a) ->
+    let sym = match op with Ast.Uneg -> "-" | Ast.Unot -> "!" in
+    Format.fprintf fmt "%s%a" sym (pp_expr_prec 6) a
+  | Ast.Ebinop (op, a, b) ->
+    let p = prec_of_binop op in
+    let open_paren = p < prec in
+    if open_paren then Format.fprintf fmt "(";
+    (* left-associative: the left child may share this level, the right
+       child must bind tighter *)
+    Format.fprintf fmt "%a %s %a" (pp_expr_prec p) a (binop_symbol op)
+      (pp_expr_prec (p + 1)) b;
+    if open_paren then Format.fprintf fmt ")"
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_objref fmt (o : Ast.objref) =
+  match o.oindex with
+  | None -> Format.fprintf fmt "%s" o.oname
+  | Some e -> Format.fprintf fmt "%s[%a]" o.oname pp_expr e
+
+let pp_gtarget fmt (t : Ast.gtarget) =
+  match t.tindex with
+  | None -> Format.fprintf fmt "%s" t.tname
+  | Some e -> Format.fprintf fmt "%s[%a]" t.tname pp_expr e
+
+let sync_op_name = function
+  | Ast.Olock -> "lock" | Ast.Ounlock -> "unlock"
+  | Ast.Owait -> "wait" | Ast.Osignal -> "signal" | Ast.Oreset -> "reset"
+  | Ast.Oacquire -> "acquire" | Ast.Orelease -> "release"
+
+let rec pp_stmt fmt (st : Ast.stmt) =
+  let f x = Format.fprintf fmt x in
+  match st.s with
+  | Ast.Sdecl { name; typ; init = None } ->
+    f "var %s: %s;" name (Ast.typ_to_string typ)
+  | Ast.Sdecl { name; typ; init = Some e } ->
+    f "var %s: %s = %a;" name (Ast.typ_to_string typ) pp_expr e
+  | Ast.Sassign (Ast.Lvar name, e) -> f "%s = %a;" name pp_expr e
+  | Ast.Sassign (Ast.Lindex (name, idx), e) ->
+    f "%s[%a] = %a;" name pp_expr idx pp_expr e
+  | Ast.Scas { dst; glob; expect; update } ->
+    f "%s = cas(%a, %a, %a);" dst pp_gtarget glob pp_expr expect pp_expr update
+  | Ast.Sfetch_add { dst; glob; delta } ->
+    f "%s = fetch_add(%a, %a);" dst pp_gtarget glob pp_expr delta
+  | Ast.Salloc { dst; size } -> f "%s = alloc(%a);" dst pp_expr size
+  | Ast.Sfree name -> f "free(%s);" name
+  | Ast.Ssync (op, o) -> f "%s(%a);" (sync_op_name op) pp_objref o
+  | Ast.Sspawn { proc; args } ->
+    f "spawn %s(" proc;
+    List.iteri
+      (fun i a ->
+        if i > 0 then f ", ";
+        pp_expr fmt a)
+      args;
+    f ");"
+  | Ast.Syield -> f "yield;"
+  | Ast.Sskip -> f "skip;"
+  | Ast.Sassert (e, msg) -> f "assert(%a, %S);" pp_expr e msg
+  | Ast.Sif (cond, then_b, else_b) ->
+    f "@[<v 2>if (%a) {%a@]@ }" pp_expr cond pp_block then_b;
+    if else_b <> [] then f "@[<v 2> else {%a@]@ }" pp_block else_b
+  | Ast.Swhile (cond, body) ->
+    f "@[<v 2>while (%a) {%a@]@ }" pp_expr cond pp_block body
+  | Ast.Satomic body -> f "@[<v 2>atomic {%a@]@ }" pp_block body
+  | Ast.Sbreak -> f "break;"
+  | Ast.Scontinue -> f "continue;"
+  | Ast.Sreturn -> f "return;"
+
+and pp_block fmt block =
+  List.iter (fun st -> Format.fprintf fmt "@ %a" pp_stmt st) block
+
+let pp_global fmt (g : Ast.global_decl) =
+  let f x = Format.fprintf fmt x in
+  if g.g_volatile then f "volatile ";
+  f "var %s" g.g_name;
+  (match g.g_size with Some e -> f "[%a]" pp_expr e | None -> ());
+  f ": %s" (Ast.typ_to_string g.g_type);
+  (match g.g_init with Some e -> f " = %a" pp_expr e | None -> ());
+  f ";"
+
+let pp_sync fmt (s : Ast.sync_decl) =
+  let f x = Format.fprintf fmt x in
+  (match s.s_kind with
+  | Ast.Dmutex -> f "mutex"
+  | Ast.Devent { manual; signaled } ->
+    f "event";
+    if manual then f " manual";
+    if signaled then f " signaled"
+  | Ast.Dsem _ -> f "sem");
+  f " %s" s.s_name;
+  (match s.s_size with Some e -> f "[%a]" pp_expr e | None -> ());
+  (match s.s_kind with
+  | Ast.Dsem (Some e) -> f " = %a" pp_expr e
+  | Ast.Dsem None | Ast.Dmutex | Ast.Devent _ -> ());
+  f ";"
+
+let pp_proc fmt (p : Ast.proc_decl) =
+  if p.p_name = "main" && p.p_params = [] then
+    Format.fprintf fmt "@[<v 2>main {%a@]@ }" pp_block p.p_body
+  else begin
+    Format.fprintf fmt "@[<v 2>proc %s(" p.p_name;
+    List.iteri
+      (fun i (name, t) ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Format.fprintf fmt "%s: %s" name (Ast.typ_to_string t))
+      p.p_params;
+    Format.fprintf fmt ") {%a@]@ }" pp_block p.p_body
+  end
+
+let pp_program fmt (p : Ast.program) =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun g -> Format.fprintf fmt "%a@ " pp_global g) p.globals;
+  List.iter (fun s -> Format.fprintf fmt "%a@ " pp_sync s) p.syncs;
+  List.iter (fun pr -> Format.fprintf fmt "%a@ " pp_proc pr) p.procs;
+  Format.fprintf fmt "@]"
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,11 @@
+(** Pretty-printer for the surface language.
+
+    [Parser.parse (to_string p)] reconstructs [p] up to positions; the
+    property tests rely on this round trip. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

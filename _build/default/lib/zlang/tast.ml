@@ -1,0 +1,59 @@
+(* Typed, name-resolved AST: the typechecker's output and the compiler's
+   input.  Locals are already assigned register slots; globals, sync
+   objects and procedures are referred to by their final indices. *)
+
+type typ = Ast.typ
+
+type expr = {
+  te : expr_node;
+  tt : typ;
+}
+
+and expr_node =
+  | Tint of int
+  | Tbool of bool
+  | Tnull
+  | Tlocal of int
+  | Tglobal of { gid : int; idx : expr option }  (* None: scalar *)
+  | Theap of { h : expr; idx : expr }
+  | Tunop of Ast.unop * expr
+  | Tbinop of Ast.binop * expr * expr
+
+type objref = {
+  sid : int;
+  sidx : expr option;
+}
+
+type stmt =
+  | Tassign_local of { reg : int; rhs : expr }
+  | Tassign_global of { gid : int; idx : expr option; rhs : expr }
+  | Tassign_heap of { h : expr; idx : expr; rhs : expr }
+  | Tcas of { reg : int; gid : int; idx : expr option; expect : expr; update : expr }
+  | Tfetch_add of { reg : int; gid : int; idx : expr option; delta : expr }
+  | Talloc of { reg : int; size : expr }
+  | Tfree of { reg : int }
+  | Tsync of Ast.sync_op * objref
+  | Tspawn of { proc : int; args : expr list }
+  | Tyield
+  | Tskip
+  | Tassert of expr * string
+  | Tif of expr * stmt list * stmt list
+  | Twhile of expr * stmt list
+  | Tatomic of stmt list
+  | Tbreak
+  | Tcontinue
+  | Treturn
+
+type proc = {
+  tp_name : string;
+  tp_nparams : int;
+  tp_nlocals : int;  (* includes parameters *)
+  tp_body : stmt list;
+}
+
+type program = {
+  tglobals : Icb_machine.Prog.global array;
+  tsyncs : Icb_machine.Prog.sync_decl array;
+  tprocs : proc array;
+  tmain : int;
+}

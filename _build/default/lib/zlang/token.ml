@@ -1,0 +1,57 @@
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_var | KW_volatile | KW_mutex | KW_event | KW_manual | KW_signaled
+  | KW_sem | KW_proc | KW_main | KW_atomic
+  | KW_if | KW_else | KW_while | KW_break | KW_continue | KW_return
+  | KW_lock | KW_unlock | KW_wait | KW_signal | KW_reset
+  | KW_acquire | KW_release
+  | KW_spawn | KW_yield | KW_skip | KW_assert | KW_free | KW_alloc
+  | KW_cas | KW_fetch_add
+  | KW_true | KW_false | KW_null
+  | KW_int | KW_bool | KW_handle
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+let keywords =
+  [
+    ("var", KW_var); ("volatile", KW_volatile); ("mutex", KW_mutex);
+    ("event", KW_event); ("manual", KW_manual); ("signaled", KW_signaled);
+    ("sem", KW_sem); ("proc", KW_proc); ("main", KW_main);
+    ("atomic", KW_atomic);
+    ("if", KW_if); ("else", KW_else); ("while", KW_while);
+    ("break", KW_break); ("continue", KW_continue); ("return", KW_return);
+    ("lock", KW_lock); ("unlock", KW_unlock); ("wait", KW_wait);
+    ("signal", KW_signal); ("reset", KW_reset);
+    ("acquire", KW_acquire); ("release", KW_release);
+    ("spawn", KW_spawn); ("yield", KW_yield); ("skip", KW_skip);
+    ("assert", KW_assert); ("free", KW_free); ("alloc", KW_alloc);
+    ("cas", KW_cas); ("fetch_add", KW_fetch_add);
+    ("true", KW_true); ("false", KW_false); ("null", KW_null);
+    ("int", KW_int); ("bool", KW_bool); ("handle", KW_handle);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"
+  | kw -> (
+    match List.find_opt (fun (_, t) -> t = kw) keywords with
+    | Some (s, _) -> s
+    | None -> "<token>")

@@ -1,0 +1,30 @@
+(** Lexical tokens of the modeling language. *)
+
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_var | KW_volatile | KW_mutex | KW_event | KW_manual | KW_signaled
+  | KW_sem | KW_proc | KW_main | KW_atomic
+  | KW_if | KW_else | KW_while | KW_break | KW_continue | KW_return
+  | KW_lock | KW_unlock | KW_wait | KW_signal | KW_reset
+  | KW_acquire | KW_release
+  | KW_spawn | KW_yield | KW_skip | KW_assert | KW_free | KW_alloc
+  | KW_cas | KW_fetch_add
+  | KW_true | KW_false | KW_null
+  | KW_int | KW_bool | KW_handle
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON
+  | ASSIGN                     (* = *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+val keyword_of_string : string -> t option
+
+val to_string : t -> string
+(** Surface syntax of the token (for error messages and the
+    pretty-printer). *)

@@ -1,0 +1,526 @@
+module Prog = Icb_machine.Prog
+module Value = Icb_machine.Value
+
+exception Error of Ast.pos * string
+
+let error_to_string (pos : Ast.pos) msg =
+  Format.asprintf "%a: %s" Lexer.pp_pos pos msg
+
+let err pos fmt = Format.kasprintf (fun s -> raise (Error (pos, s))) fmt
+
+(* --- constant evaluation (global initializers, sizes) ------------------ *)
+
+let rec const_eval (e : Ast.expr) : Value.t =
+  match e.e with
+  | Ast.Eint n -> Value.Int n
+  | Ast.Ebool b -> Value.Bool b
+  | Ast.Enull -> Value.null
+  | Ast.Eunop (Ast.Uneg, e') -> (
+    match const_eval e' with
+    | Value.Int n -> Value.Int (-n)
+    | _ -> err e.epos "constant expression: negation of a non-integer")
+  | Ast.Eunop (Ast.Unot, e') -> (
+    match const_eval e' with
+    | Value.Bool b -> Value.Bool (not b)
+    | _ -> err e.epos "constant expression: negation of a non-boolean")
+  | Ast.Ebinop (op, a, b) -> (
+    match op, const_eval a, const_eval b with
+    | Ast.Badd, Value.Int x, Value.Int y -> Value.Int (x + y)
+    | Ast.Bsub, Value.Int x, Value.Int y -> Value.Int (x - y)
+    | Ast.Bmul, Value.Int x, Value.Int y -> Value.Int (x * y)
+    | Ast.Bdiv, Value.Int x, Value.Int y when y <> 0 -> Value.Int (x / y)
+    | Ast.Bmod, Value.Int x, Value.Int y when y <> 0 -> Value.Int (x mod y)
+    | _ -> err e.epos "not a constant expression")
+  | Ast.Evar _ | Ast.Eindex _ ->
+    err e.epos "not a constant expression (variables are not allowed here)"
+
+let const_int (e : Ast.expr) =
+  match const_eval e with
+  | Value.Int n -> n
+  | _ -> err e.epos "expected a constant integer"
+
+(* --- environments ------------------------------------------------------- *)
+
+type global_info = {
+  gi_id : int;
+  gi_type : Ast.typ;
+  gi_array : bool;
+  gi_volatile : bool;
+}
+
+type sync_info = {
+  si_id : int;
+  si_kind : Ast.sync_kind_decl;
+  si_array : bool;
+}
+
+type proc_info = {
+  pi_id : int;
+  pi_params : Ast.typ list;
+}
+
+type genv = {
+  globals : (string, global_info) Hashtbl.t;
+  syncs : (string, sync_info) Hashtbl.t;
+  procs : (string, proc_info) Hashtbl.t;
+}
+
+(* Per-proc local scope: a stack of blocks, each mapping name -> (reg, typ). *)
+type lenv = {
+  mutable scopes : (string * (int * Ast.typ)) list list;
+  mutable next_reg : int;
+}
+
+let lookup_local lenv name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some x -> Some x | None -> go rest)
+  in
+  go lenv.scopes
+
+let declare_local lenv pos name typ =
+  if lookup_local lenv name <> None then
+    err pos "local variable %s shadows an existing variable" name;
+  let reg = lenv.next_reg in
+  lenv.next_reg <- reg + 1;
+  (match lenv.scopes with
+  | scope :: rest -> lenv.scopes <- ((name, (reg, typ)) :: scope) :: rest
+  | [] -> assert false);
+  reg
+
+let push_scope lenv = lenv.scopes <- [] :: lenv.scopes
+
+let pop_scope lenv =
+  match lenv.scopes with
+  | _ :: rest -> lenv.scopes <- rest
+  | [] -> assert false
+
+(* --- expression typing -------------------------------------------------- *)
+
+let rec check_expr genv lenv (e : Ast.expr) : Tast.expr =
+  match e.e with
+  | Ast.Eint n -> { Tast.te = Tast.Tint n; tt = Ast.Tint }
+  | Ast.Ebool b -> { te = Tast.Tbool b; tt = Ast.Tbool }
+  | Ast.Enull -> { te = Tast.Tnull; tt = Ast.Thandle }
+  | Ast.Evar name -> (
+    match lookup_local lenv name with
+    | Some (reg, typ) -> { te = Tast.Tlocal reg; tt = typ }
+    | None -> (
+      match Hashtbl.find_opt genv.globals name with
+      | Some gi ->
+        if gi.gi_array then
+          err e.epos "%s is an array and must be indexed" name;
+        { te = Tast.Tglobal { gid = gi.gi_id; idx = None }; tt = gi.gi_type }
+      | None ->
+        if Hashtbl.mem genv.syncs name then
+          err e.epos "%s is a synchronization object, not a value" name
+        else err e.epos "unknown variable %s" name))
+  | Ast.Eindex (name, idx) -> (
+    let tidx = check_expr genv lenv idx in
+    if tidx.tt <> Ast.Tint then err idx.epos "index must be an int";
+    match lookup_local lenv name with
+    | Some (reg, Ast.Thandle) ->
+      {
+        te = Tast.Theap { h = { te = Tast.Tlocal reg; tt = Ast.Thandle }; idx = tidx };
+        tt = Ast.Tint;
+      }
+    | Some (_, t) ->
+      err e.epos "%s has type %s and cannot be indexed" name
+        (Ast.typ_to_string t)
+    | None -> (
+      match Hashtbl.find_opt genv.globals name with
+      | Some gi ->
+        if not gi.gi_array then err e.epos "%s is not an array" name;
+        {
+          te = Tast.Tglobal { gid = gi.gi_id; idx = Some tidx };
+          tt = gi.gi_type;
+        }
+      | None -> err e.epos "unknown array or handle %s" name))
+  | Ast.Eunop (op, a) -> (
+    let ta = check_expr genv lenv a in
+    match op with
+    | Ast.Uneg ->
+      if ta.tt <> Ast.Tint then err a.epos "unary - needs an int";
+      { te = Tast.Tunop (op, ta); tt = Ast.Tint }
+    | Ast.Unot ->
+      if ta.tt <> Ast.Tbool then err a.epos "! needs a bool";
+      { te = Tast.Tunop (op, ta); tt = Ast.Tbool })
+  | Ast.Ebinop (op, a, b) -> (
+    let ta = check_expr genv lenv a in
+    let tb = check_expr genv lenv b in
+    let need t (x : Tast.expr) pos =
+      if x.tt <> t then
+        err pos "operand has type %s, expected %s" (Ast.typ_to_string x.tt)
+          (Ast.typ_to_string t)
+    in
+    match op with
+    | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv | Ast.Bmod ->
+      need Ast.Tint ta a.epos;
+      need Ast.Tint tb b.epos;
+      { te = Tast.Tbinop (op, ta, tb); tt = Ast.Tint }
+    | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+      need Ast.Tint ta a.epos;
+      need Ast.Tint tb b.epos;
+      { te = Tast.Tbinop (op, ta, tb); tt = Ast.Tbool }
+    | Ast.Beq | Ast.Bne ->
+      if ta.tt <> tb.tt then
+        err e.epos "cannot compare %s with %s" (Ast.typ_to_string ta.tt)
+          (Ast.typ_to_string tb.tt);
+      { te = Tast.Tbinop (op, ta, tb); tt = Ast.Tbool }
+    | Ast.Band | Ast.Bor ->
+      need Ast.Tbool ta a.epos;
+      need Ast.Tbool tb b.epos;
+      { te = Tast.Tbinop (op, ta, tb); tt = Ast.Tbool })
+
+(* --- statement checking -------------------------------------------------- *)
+
+let default_init = function
+  | Ast.Tint -> { Tast.te = Tast.Tint 0; tt = Ast.Tint }
+  | Ast.Tbool -> { Tast.te = Tast.Tbool false; tt = Ast.Tbool }
+  | Ast.Thandle -> { Tast.te = Tast.Tnull; tt = Ast.Thandle }
+
+let resolve_gtarget genv lenv (t : Ast.gtarget) ~want_volatile =
+  match Hashtbl.find_opt genv.globals t.tname with
+  | None -> err t.tpos "unknown global %s" t.tname
+  | Some gi ->
+    if want_volatile && not gi.gi_volatile then
+      err t.tpos "%s must be declared volatile for atomic operations" t.tname;
+    let idx =
+      match t.tindex, gi.gi_array with
+      | Some e, true ->
+        let te = check_expr genv lenv e in
+        if te.tt <> Ast.Tint then err e.epos "index must be an int";
+        Some te
+      | None, false -> None
+      | Some _, false -> err t.tpos "%s is not an array" t.tname
+      | None, true -> err t.tpos "%s is an array and must be indexed" t.tname
+    in
+    (gi, idx)
+
+let resolve_objref genv lenv (o : Ast.objref) =
+  match Hashtbl.find_opt genv.syncs o.oname with
+  | None -> err o.opos "unknown synchronization object %s" o.oname
+  | Some si ->
+    let idx =
+      match o.oindex, si.si_array with
+      | Some e, true ->
+        let te = check_expr genv lenv e in
+        if te.tt <> Ast.Tint then err e.epos "index must be an int";
+        Some te
+      | None, false -> None
+      | Some _, false -> err o.opos "%s is not an array" o.oname
+      | None, true -> err o.opos "%s is an array and must be indexed" o.oname
+    in
+    (si, idx)
+
+let local_of genv lenv pos name ~expect =
+  match lookup_local lenv name with
+  | Some (reg, typ) ->
+    (match expect with
+    | Some t when t <> typ ->
+      err pos "%s has type %s, expected %s" name (Ast.typ_to_string typ)
+        (Ast.typ_to_string t)
+    | Some _ | None -> ());
+    (reg, typ)
+  | None ->
+    if Hashtbl.mem genv.globals name then
+      err pos "%s is a global; this operation needs a local variable" name
+    else err pos "unknown local variable %s" name
+
+(* [in_loop] records, for the innermost enclosing loop, the atomic nesting
+   depth at its entry (None outside loops); [atomic] is the current atomic
+   nesting depth.  break/continue must not jump across an atomic boundary,
+   and yield has no meaning inside an atomic section. *)
+let rec check_stmt genv lenv ~in_loop ~atomic (st : Ast.stmt) : Tast.stmt =
+  let pos = st.spos in
+  match st.s with
+  | Ast.Sdecl { name; typ; init } ->
+    let tinit =
+      match init with
+      | None -> default_init typ
+      | Some e ->
+        let te = check_expr genv lenv e in
+        if te.tt <> typ then
+          err e.epos "initializer has type %s, expected %s"
+            (Ast.typ_to_string te.tt) (Ast.typ_to_string typ);
+        te
+    in
+    (* declare after checking the initializer, so `var x: int = x;` errors *)
+    let reg = declare_local lenv pos name typ in
+    Tast.Tassign_local { reg; rhs = tinit }
+  | Ast.Sassign (Ast.Lvar name, rhs) -> (
+    let trhs = check_expr genv lenv rhs in
+    match lookup_local lenv name with
+    | Some (reg, typ) ->
+      if trhs.tt <> typ then
+        err rhs.epos "assignment of %s to %s variable"
+          (Ast.typ_to_string trhs.tt) (Ast.typ_to_string typ);
+      Tast.Tassign_local { reg; rhs = trhs }
+    | None -> (
+      match Hashtbl.find_opt genv.globals name with
+      | Some gi ->
+        if gi.gi_array then err pos "%s is an array and must be indexed" name;
+        if trhs.tt <> gi.gi_type then
+          err rhs.epos "assignment of %s to %s global"
+            (Ast.typ_to_string trhs.tt) (Ast.typ_to_string gi.gi_type);
+        Tast.Tassign_global { gid = gi.gi_id; idx = None; rhs = trhs }
+      | None -> err pos "unknown variable %s" name))
+  | Ast.Sassign (Ast.Lindex (name, idx), rhs) -> (
+    let tidx = check_expr genv lenv idx in
+    if tidx.tt <> Ast.Tint then err idx.epos "index must be an int";
+    let trhs = check_expr genv lenv rhs in
+    match lookup_local lenv name with
+    | Some (reg, Ast.Thandle) ->
+      if trhs.tt <> Ast.Tint then
+        err rhs.epos "heap cells hold ints; cannot store %s"
+          (Ast.typ_to_string trhs.tt);
+      Tast.Tassign_heap
+        {
+          h = { Tast.te = Tast.Tlocal reg; tt = Ast.Thandle };
+          idx = tidx;
+          rhs = trhs;
+        }
+    | Some (_, t) ->
+      err pos "%s has type %s and cannot be indexed" name (Ast.typ_to_string t)
+    | None -> (
+      match Hashtbl.find_opt genv.globals name with
+      | Some gi ->
+        if not gi.gi_array then err pos "%s is not an array" name;
+        if trhs.tt <> gi.gi_type then
+          err rhs.epos "assignment of %s to %s array"
+            (Ast.typ_to_string trhs.tt) (Ast.typ_to_string gi.gi_type);
+        Tast.Tassign_global { gid = gi.gi_id; idx = Some tidx; rhs = trhs }
+      | None -> err pos "unknown array or handle %s" name))
+  | Ast.Scas { dst; glob; expect; update } ->
+    let gi, idx = resolve_gtarget genv lenv glob ~want_volatile:true in
+    let texpect = check_expr genv lenv expect in
+    let tupdate = check_expr genv lenv update in
+    if texpect.tt <> gi.gi_type || tupdate.tt <> gi.gi_type then
+      err glob.tpos "cas operands must have the global's type (%s)"
+        (Ast.typ_to_string gi.gi_type);
+    let reg, _ = local_of genv lenv pos dst ~expect:(Some gi.gi_type) in
+    Tast.Tcas { reg; gid = gi.gi_id; idx; expect = texpect; update = tupdate }
+  | Ast.Sfetch_add { dst; glob; delta } ->
+    let gi, idx = resolve_gtarget genv lenv glob ~want_volatile:true in
+    if gi.gi_type <> Ast.Tint then
+      err glob.tpos "fetch_add needs an int global";
+    let tdelta = check_expr genv lenv delta in
+    if tdelta.tt <> Ast.Tint then err delta.epos "fetch_add delta must be an int";
+    let reg, _ = local_of genv lenv pos dst ~expect:(Some Ast.Tint) in
+    Tast.Tfetch_add { reg; gid = gi.gi_id; idx; delta = tdelta }
+  | Ast.Salloc { dst; size } ->
+    let tsize = check_expr genv lenv size in
+    if tsize.tt <> Ast.Tint then err size.epos "alloc size must be an int";
+    let reg, _ = local_of genv lenv pos dst ~expect:(Some Ast.Thandle) in
+    Tast.Talloc { reg; size = tsize }
+  | Ast.Sfree name ->
+    let reg, _ = local_of genv lenv pos name ~expect:(Some Ast.Thandle) in
+    Tast.Tfree { reg }
+  | Ast.Ssync (op, o) ->
+    let si, idx = resolve_objref genv lenv o in
+    let kind_name =
+      match si.si_kind with
+      | Ast.Dmutex -> "mutex"
+      | Ast.Devent _ -> "event"
+      | Ast.Dsem _ -> "semaphore"
+    in
+    let want =
+      match op with
+      | Ast.Olock | Ast.Ounlock -> "mutex"
+      | Ast.Owait | Ast.Osignal | Ast.Oreset -> "event"
+      | Ast.Oacquire | Ast.Orelease -> "semaphore"
+    in
+    if want <> kind_name then
+      err o.opos "%s is a %s; this operation needs a %s" o.oname kind_name want;
+    Tast.Tsync (op, { Tast.sid = si.si_id; sidx = idx })
+  | Ast.Sspawn { proc; args } -> (
+    match Hashtbl.find_opt genv.procs proc with
+    | None -> err pos "unknown procedure %s" proc
+    | Some pi ->
+      if proc = "main" then err pos "main cannot be spawned";
+      if List.length args <> List.length pi.pi_params then
+        err pos "%s takes %d argument(s), %d given" proc
+          (List.length pi.pi_params) (List.length args);
+      let targs =
+        List.map2
+          (fun a t ->
+            let ta = check_expr genv lenv a in
+            if ta.tt <> t then
+              err a.Ast.epos "argument has type %s, expected %s"
+                (Ast.typ_to_string ta.tt) (Ast.typ_to_string t);
+            ta)
+          args pi.pi_params
+      in
+      Tast.Tspawn { proc = pi.pi_id; args = targs })
+  | Ast.Syield ->
+    if atomic > 0 then err pos "yield inside an atomic block";
+    Tast.Tyield
+  | Ast.Sskip -> Tast.Tskip
+  | Ast.Sassert (e, msg) ->
+    let te = check_expr genv lenv e in
+    if te.tt <> Ast.Tbool then err e.epos "assert needs a bool";
+    Tast.Tassert (te, msg)
+  | Ast.Sif (cond, then_b, else_b) ->
+    let tcond = check_expr genv lenv cond in
+    if tcond.tt <> Ast.Tbool then err cond.epos "if condition must be a bool";
+    let tthen = check_block genv lenv ~in_loop ~atomic then_b in
+    let telse = check_block genv lenv ~in_loop ~atomic else_b in
+    Tast.Tif (tcond, tthen, telse)
+  | Ast.Swhile (cond, body) ->
+    let tcond = check_expr genv lenv cond in
+    if tcond.tt <> Ast.Tbool then err cond.epos "while condition must be a bool";
+    let tbody = check_block genv lenv ~in_loop:(Some atomic) ~atomic body in
+    Tast.Twhile (tcond, tbody)
+  | Ast.Satomic body ->
+    Tast.Tatomic (check_block genv lenv ~in_loop ~atomic:(atomic + 1) body)
+  | Ast.Sbreak -> (
+    match in_loop with
+    | None -> err pos "break outside of a loop"
+    | Some loop_atomic ->
+      if atomic > loop_atomic then
+        err pos "break would jump out of an atomic block";
+      Tast.Tbreak)
+  | Ast.Scontinue -> (
+    match in_loop with
+    | None -> err pos "continue outside of a loop"
+    | Some loop_atomic ->
+      if atomic > loop_atomic then
+        err pos "continue would jump out of an atomic block";
+      Tast.Tcontinue)
+  | Ast.Sreturn -> Tast.Treturn
+
+and check_block genv lenv ~in_loop ~atomic block =
+  push_scope lenv;
+  let r = List.map (check_stmt genv lenv ~in_loop ~atomic) block in
+  pop_scope lenv;
+  r
+
+(* --- program checking ---------------------------------------------------- *)
+
+let check (p : Ast.program) : Tast.program =
+  let genv =
+    {
+      globals = Hashtbl.create 16;
+      syncs = Hashtbl.create 16;
+      procs = Hashtbl.create 16;
+    }
+  in
+  let name_taken name =
+    Hashtbl.mem genv.globals name || Hashtbl.mem genv.syncs name
+  in
+  (* globals *)
+  let tglobals =
+    List.mapi
+      (fun i (g : Ast.global_decl) ->
+        if name_taken g.g_name then err g.g_pos "duplicate name %s" g.g_name;
+        let size =
+          match g.g_size with
+          | None -> 1
+          | Some e ->
+            let n = const_int e in
+            if n < 1 then err e.epos "array size must be positive";
+            n
+        in
+        let init =
+          match g.g_init with
+          | None -> (
+            match g.g_type with
+            | Ast.Tint -> Value.Int 0
+            | Ast.Tbool -> Value.Bool false
+            | Ast.Thandle -> Value.null)
+          | Some e -> (
+            let v = const_eval e in
+            match v, g.g_type with
+            | Value.Int _, Ast.Tint
+            | Value.Bool _, Ast.Tbool
+            | Value.Handle _, Ast.Thandle -> v
+            | _ ->
+              err e.epos "initializer does not match declared type %s"
+                (Ast.typ_to_string g.g_type))
+        in
+        Hashtbl.add genv.globals g.g_name
+          {
+            gi_id = i;
+            gi_type = g.g_type;
+            gi_array = g.g_size <> None;
+            gi_volatile = g.g_volatile;
+          };
+        {
+          Prog.gname = g.g_name;
+          gsize = size;
+          ginit = init;
+          gvolatile = g.g_volatile;
+        })
+      p.globals
+  in
+  (* sync objects *)
+  let tsyncs =
+    List.mapi
+      (fun i (s : Ast.sync_decl) ->
+        if name_taken s.s_name then err s.s_pos "duplicate name %s" s.s_name;
+        let size =
+          match s.s_size with
+          | None -> 1
+          | Some e ->
+            let n = const_int e in
+            if n < 1 then err e.epos "array size must be positive";
+            n
+        in
+        let kind =
+          match s.s_kind with
+          | Ast.Dmutex -> Prog.Mutex
+          | Ast.Devent { manual; signaled } ->
+            Prog.Event { manual; initially_signaled = signaled }
+          | Ast.Dsem init ->
+            let n = match init with None -> 0 | Some e -> const_int e in
+            if n < 0 then err s.s_pos "semaphore count must be non-negative";
+            Prog.Semaphore { initial = n }
+        in
+        Hashtbl.add genv.syncs s.s_name
+          { si_id = i; si_kind = s.s_kind; si_array = s.s_size <> None };
+        { Prog.sname = s.s_name; ssize = size; skind = kind })
+      p.syncs
+  in
+  (* procedure signatures first (so spawns can be forward references) *)
+  List.iteri
+    (fun i (pd : Ast.proc_decl) ->
+      if Hashtbl.mem genv.procs pd.p_name then
+        err pd.p_pos "duplicate procedure %s" pd.p_name;
+      Hashtbl.add genv.procs pd.p_name
+        { pi_id = i; pi_params = List.map snd pd.p_params })
+    p.procs;
+  (* bodies *)
+  let tprocs =
+    List.map
+      (fun (pd : Ast.proc_decl) ->
+        let lenv = { scopes = [ [] ]; next_reg = 0 } in
+        List.iter
+          (fun (name, t) ->
+            if name_taken name then
+              err pd.p_pos "parameter %s shadows a global" name;
+            ignore (declare_local lenv pd.p_pos name t))
+          pd.p_params;
+        let body = check_block genv lenv ~in_loop:None ~atomic:0 pd.p_body in
+        {
+          Tast.tp_name = pd.p_name;
+          tp_nparams = List.length pd.p_params;
+          tp_nlocals = lenv.next_reg;
+          tp_body = body;
+        })
+      p.procs
+  in
+  let tmain =
+    match Hashtbl.find_opt genv.procs "main" with
+    | Some pi ->
+      if pi.pi_params <> [] then
+        err Ast.dummy_pos "main must take no parameters";
+      pi.pi_id
+    | None -> err Ast.dummy_pos "program has no main"
+  in
+  {
+    Tast.tglobals = Array.of_list tglobals;
+    tsyncs = Array.of_list tsyncs;
+    tprocs = Array.of_list tprocs;
+    tmain;
+  }

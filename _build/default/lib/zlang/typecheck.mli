@@ -1,0 +1,25 @@
+(** Type checking and name resolution.
+
+    Checks, among others:
+    - unique names (globals and sync objects share one namespace, since
+      both are referenced bare in statements);
+    - globals initialized with constant expressions of the declared type;
+    - conditions and assertion bodies are [bool]; arithmetic is [int];
+      equality requires both sides of one type;
+    - [cas]/[fetch_add] only target volatile globals;
+    - [lock]/[unlock] on mutexes, [wait]/[signal]/[reset] on events,
+      [acquire]/[release] on semaphores; array objects are indexed, scalar
+      objects are not;
+    - heap cells hold [int]s; only [handle]-typed locals are dereferenced;
+    - [break]/[continue] appear inside loops; [spawn] arities and types
+      match; [main] exists, takes no parameters, and is not spawned.
+
+    Local variables get block scope with shadowing disallowed — models are
+    small and shadowing in them is invariably a bug. *)
+
+exception Error of Ast.pos * string
+
+val check : Ast.program -> Tast.program
+(** Raises {!Error} with a position and message on ill-typed input. *)
+
+val error_to_string : Ast.pos -> string -> string

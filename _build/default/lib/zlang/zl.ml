@@ -1,0 +1,24 @@
+exception Error of string
+
+let wrap f =
+  try f () with
+  | Lexer.Error (pos, msg) ->
+    raise (Error (Typecheck.error_to_string pos ("lexical error: " ^ msg)))
+  | Parser.Error (pos, msg) ->
+    raise (Error (Typecheck.error_to_string pos ("syntax error: " ^ msg)))
+  | Typecheck.Error (pos, msg) ->
+    raise (Error (Typecheck.error_to_string pos ("type error: " ^ msg)))
+
+let parse_source src = wrap (fun () -> Parser.parse src)
+
+let compile_source src =
+  wrap (fun () -> Compile.program (Typecheck.check (Parser.parse src)))
+
+let compile_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  compile_source src

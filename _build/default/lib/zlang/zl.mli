@@ -1,0 +1,14 @@
+(** One-call front end: source text to an executable guest program. *)
+
+exception Error of string
+(** Raised with a formatted location + message for any lexical, syntactic
+    or type error. *)
+
+val compile_source : string -> Icb_machine.Prog.t
+(** Lex, parse, type-check and compile.  Raises {!Error}. *)
+
+val compile_file : string -> Icb_machine.Prog.t
+(** Like {!compile_source}, reading the program from a file. *)
+
+val parse_source : string -> Ast.program
+(** Front half only, for tooling.  Raises {!Error}. *)

@@ -1,0 +1,1 @@
+test/test_chess.ml: Alcotest Array Icb Icb_chess Icb_models Icb_search List String

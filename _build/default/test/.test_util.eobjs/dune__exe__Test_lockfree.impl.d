@@ -1,0 +1,1 @@
+test/test_lockfree.ml: Alcotest Icb_chess Icb_lockfree Icb_search List Printf String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Format Icb Icb_machine Icb_models Instr List Printf Prog Result String

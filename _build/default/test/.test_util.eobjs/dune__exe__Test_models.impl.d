@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Icb Icb_models Icb_search List Printf

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Icb Icb_machine Icb_race Icb_search List QCheck QCheck_alcotest Result String

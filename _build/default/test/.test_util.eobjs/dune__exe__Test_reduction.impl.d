@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Format Hashtbl Icb Icb_machine Icb_search List Printf QCheck QCheck_alcotest String

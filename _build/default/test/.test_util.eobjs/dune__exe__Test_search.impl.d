@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Hashtbl Icb Icb_models Icb_search Icb_util List Option Printf

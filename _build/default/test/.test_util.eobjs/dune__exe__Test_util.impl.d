@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Icb_util List QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_zlang.ml: Alcotest Array Format Icb Icb_machine Icb_models Icb_search Icb_zlang List Option Printexc Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,165 @@
+(* Verifying the lock-free structures with the stateless checker: the
+   "downstream user" workflow — write the structure against the shim API,
+   state its contract as assertions in a driver, explore schedules. *)
+
+module Api = Icb_chess.Api
+module CE = Icb_chess.Chess_engine
+module Explore = Icb_search.Explore
+module Collector = Icb_search.Collector
+module Treiber = Icb_lockfree.Treiber
+module Msqueue = Icb_lockfree.Msqueue
+
+let check = Alcotest.check
+
+let explore ?(bound = 2) ?(cap = 100_000) test =
+  CE.run
+    ~options:
+      {
+        Collector.default_options with
+        max_executions = Some cap;
+        stop_at_first_bug = true;
+      }
+    ~strategy:(Explore.Icb { max_bound = Some bound; cache = false })
+    test
+
+(* --- Treiber stack --------------------------------------------------------- *)
+
+(* Two pushers and one popper; at the end, every pushed value must be
+   accounted for exactly once (popped or still on the stack). *)
+let stack_driver ~push () =
+  let s = Treiber.create () in
+  let popped = Api.Data.make [] in
+  let d = Api.Semaphore.create 0 in
+  Api.spawn (fun () ->
+      push s 1;
+      Api.Semaphore.release d);
+  Api.spawn (fun () ->
+      push s 2;
+      Api.Semaphore.release d);
+  Api.spawn (fun () ->
+      (match Treiber.pop s with
+      | Some v -> Api.Data.set popped (v :: Api.Data.get popped)
+      | None -> ());
+      Api.Semaphore.release d);
+  for _ = 1 to 3 do
+    Api.Semaphore.acquire d
+  done;
+  let rec drain acc =
+    match Treiber.pop s with
+    | Some v -> drain (v :: acc)
+    | None -> acc
+  in
+  let all = drain (Api.Data.get popped) in
+  let sorted = List.sort compare all in
+  if sorted <> [ 1; 2 ] then
+    failwith
+      (Printf.sprintf "stack lost or duplicated values: [%s]"
+         (String.concat "; " (List.map string_of_int sorted)))
+
+let treiber_tests =
+  [
+    Alcotest.test_case "Treiber stack verified to bound 2" `Slow (fun () ->
+        let r = explore (stack_driver ~push:Treiber.push) in
+        check Alcotest.int "no bugs" 0 (List.length r.Icb_search.Sresult.bugs));
+    Alcotest.test_case "broken push loses a value" `Quick (fun () ->
+        let r = explore (stack_driver ~push:Treiber.Broken.push) in
+        (match r.Icb_search.Sresult.bugs with
+        | bug :: _ ->
+          check Alcotest.bool "needs at least one preemption" true
+            (bug.preemptions >= 1)
+        | [] -> Alcotest.fail "expected the lost push"));
+    Alcotest.test_case "stack is LIFO for a single thread" `Quick (fun () ->
+        let r =
+          explore (fun () ->
+              let s = Treiber.create () in
+              Treiber.push s 1;
+              Treiber.push s 2;
+              Treiber.push s 3;
+              if Treiber.pop s <> Some 3 then failwith "not LIFO";
+              if Treiber.pop s <> Some 2 then failwith "not LIFO";
+              if Treiber.pop s <> Some 1 then failwith "not LIFO";
+              if Treiber.pop s <> None then failwith "ghost element")
+        in
+        check Alcotest.int "no bugs" 0 (List.length r.Icb_search.Sresult.bugs));
+  ]
+
+(* --- Michael-Scott queue --------------------------------------------------- *)
+
+(* Two enqueuers and one dequeuer; at the end every enqueued value is
+   delivered exactly once, and per-producer order is preserved. *)
+let queue_driver ~enqueue () =
+  let q = Msqueue.create () in
+  let got = Api.Data.make [] in
+  let d = Api.Semaphore.create 0 in
+  Api.spawn (fun () ->
+      enqueue q 1;
+      Api.Semaphore.release d);
+  Api.spawn (fun () ->
+      enqueue q 2;
+      Api.Semaphore.release d);
+  Api.spawn (fun () ->
+      (match Msqueue.dequeue q with
+      | Some v -> Api.Data.set got (v :: Api.Data.get got)
+      | None -> ());
+      Api.Semaphore.release d);
+  for _ = 1 to 3 do
+    Api.Semaphore.acquire d
+  done;
+  let rec drain acc =
+    match Msqueue.dequeue q with
+    | Some v -> drain (v :: acc)
+    | None -> acc
+  in
+  let all = drain (Api.Data.get got) in
+  let sorted = List.sort compare all in
+  if sorted <> [ 1; 2 ] then
+    failwith
+      (Printf.sprintf "queue lost or duplicated values: [%s]"
+         (String.concat "; " (List.map string_of_int sorted)))
+
+let msqueue_tests =
+  [
+    Alcotest.test_case "MS queue verified to bound 2" `Slow (fun () ->
+        let r = explore (queue_driver ~enqueue:Msqueue.enqueue) in
+        check Alcotest.int "no bugs" 0 (List.length r.Icb_search.Sresult.bugs));
+    Alcotest.test_case "broken enqueue loses a message" `Quick (fun () ->
+        let r = explore (queue_driver ~enqueue:Msqueue.Broken.enqueue) in
+        check Alcotest.bool "bug found" true (r.Icb_search.Sresult.bugs <> []));
+    Alcotest.test_case "queue is FIFO per producer" `Quick (fun () ->
+        let r =
+          explore (fun () ->
+              let q = Msqueue.create () in
+              let d = Api.Semaphore.create 0 in
+              Api.spawn (fun () ->
+                  Msqueue.enqueue q 10;
+                  Msqueue.enqueue q 11;
+                  Api.Semaphore.release d);
+              Api.Semaphore.acquire d;
+              (* producer finished: its two messages must come out in order *)
+              let a = Msqueue.dequeue q in
+              let b = Msqueue.dequeue q in
+              if not (a = Some 10 && b = Some 11) then
+                failwith "per-producer order broken")
+        in
+        check Alcotest.int "no bugs" 0 (List.length r.Icb_search.Sresult.bugs));
+    Alcotest.test_case "dequeue on empty is None under contention" `Quick
+      (fun () ->
+        let r =
+          explore (fun () ->
+              let q = Msqueue.create () in
+              let d = Api.Semaphore.create 0 in
+              Api.spawn (fun () ->
+                  ignore (Msqueue.dequeue q);
+                  Api.Semaphore.release d);
+              Api.spawn (fun () ->
+                  ignore (Msqueue.dequeue q);
+                  Api.Semaphore.release d);
+              Api.Semaphore.acquire d;
+              Api.Semaphore.acquire d)
+        in
+        check Alcotest.int "no bugs" 0 (List.length r.Icb_search.Sresult.bugs));
+  ]
+
+let () =
+  Alcotest.run "lockfree"
+    [ ("treiber", treiber_tests); ("msqueue", msqueue_tests) ]

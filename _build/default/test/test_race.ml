@@ -1,0 +1,310 @@
+module Vclock = Icb_race.Vclock
+module Vcdetect = Icb_race.Vcdetect
+module Goldilocks = Icb_race.Goldilocks
+module Hbsig = Icb_race.Hbsig
+module Interp = Icb_machine.Interp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- vector clocks -------------------------------------------------------- *)
+
+let clock_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        List.fold_left
+          (fun c (t, n) -> Vclock.set c t n)
+          Vclock.empty l)
+      (list_size (int_range 0 6) (pair (int_range 0 5) (int_range 0 10))))
+
+let clock = QCheck.make clock_gen
+
+let vclock_tests =
+  [
+    Alcotest.test_case "get of empty is zero" `Quick (fun () ->
+        check Alcotest.int "zero" 0 (Vclock.get Vclock.empty 3));
+    Alcotest.test_case "inc bumps one component" `Quick (fun () ->
+        let c = Vclock.inc (Vclock.inc Vclock.empty 2) 2 in
+        check Alcotest.int "two" 2 (Vclock.get c 2);
+        check Alcotest.int "others zero" 0 (Vclock.get c 0));
+    qtest
+      (QCheck.Test.make ~name:"join is commutative" ~count:300
+         (QCheck.pair clock clock) (fun (a, b) ->
+           Vclock.equal (Vclock.join a b) (Vclock.join b a)));
+    qtest
+      (QCheck.Test.make ~name:"join is associative" ~count:300
+         (QCheck.triple clock clock clock) (fun (a, b, c) ->
+           Vclock.equal
+             (Vclock.join a (Vclock.join b c))
+             (Vclock.join (Vclock.join a b) c)));
+    qtest
+      (QCheck.Test.make ~name:"join is idempotent" ~count:300 clock (fun a ->
+           Vclock.equal (Vclock.join a a) a));
+    qtest
+      (QCheck.Test.make ~name:"join is the least upper bound" ~count:300
+         (QCheck.pair clock clock) (fun (a, b) ->
+           let j = Vclock.join a b in
+           Vclock.leq a j && Vclock.leq b j));
+    qtest
+      (QCheck.Test.make ~name:"leq is antisymmetric" ~count:300
+         (QCheck.pair clock clock) (fun (a, b) ->
+           (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b));
+    qtest
+      (QCheck.Test.make ~name:"inc strictly increases" ~count:300
+         (QCheck.pair clock (QCheck.make (QCheck.Gen.int_range 0 5)))
+         (fun (a, t) ->
+           let a' = Vclock.inc a t in
+           Vclock.leq a a' && not (Vclock.leq a' a)));
+  ]
+
+(* --- detectors on hand-built event streams --------------------------------- *)
+
+let v0 : Interp.var_id = Interp.Gvar (0, 0)
+let l0 : Interp.var_id = Interp.Svar (0, 0)
+
+let data ?(write = true) tid var : Interp.event = Interp.Ev_data { tid; var; write }
+let sync tid var : Interp.event = Interp.Ev_sync { tid; var }
+let fork parent child : Interp.event = Interp.Ev_fork { parent; child }
+
+let vc_races events = Result.is_error (Vcdetect.observe Vcdetect.empty events)
+
+let gold_races events =
+  Result.is_error (Goldilocks.observe Goldilocks.empty events)
+
+let both name expected events =
+  Alcotest.test_case name `Quick (fun () ->
+      check Alcotest.bool ("vclock: " ^ name) expected (vc_races events);
+      check Alcotest.bool ("goldilocks: " ^ name) expected (gold_races events))
+
+let detector_tests =
+  [
+    both "unsynchronized write-write races" true
+      [ fork 0 1; data 0 v0; data 1 v0 ];
+    both "read-read does not race" false
+      [ fork 0 1; data ~write:false 0 v0; data ~write:false 1 v0 ];
+    both "write then unsynchronized read races" true
+      [ fork 0 1; data 0 v0; data ~write:false 1 v0 ];
+    both "lock-ordered accesses do not race" false
+      [
+        fork 0 1;
+        sync 0 l0; data 0 v0; sync 0 l0;  (* lock; write; unlock *)
+        sync 1 l0; data 1 v0; sync 1 l0;
+      ];
+    both "distinct locks do not order" true
+      [
+        fork 0 1;
+        sync 0 l0; data 0 v0; sync 0 l0;
+        sync 1 (Interp.Svar (1, 0)); data 1 v0; sync 1 (Interp.Svar (1, 0));
+      ];
+    both "fork orders parent-before-child" false
+      [ data 0 v0; fork 0 1; data 1 v0 ];
+    both "no fork edge, no order" true [ fork 0 1; data 1 v0; data 0 v0 ];
+    both "same thread never races with itself" false
+      [ data 0 v0; data ~write:false 0 v0; data 0 v0 ];
+    both "volatile-style sync accesses do not race" false
+      [ fork 0 1; sync 0 v0; sync 1 v0 ];
+    both "transitive publication through a chain" false
+      [
+        fork 0 1; fork 0 2;
+        data 0 v0;
+        sync 0 l0;
+        sync 1 l0;
+        sync 1 (Interp.Svar (1, 0));
+        sync 2 (Interp.Svar (1, 0));
+        data ~write:false 2 v0;
+      ];
+    both "read shared, then unsynchronized write races with the reader" true
+      [
+        fork 0 1;
+        sync 0 l0; data ~write:false 0 v0; sync 0 l0;
+        data 1 v0;
+      ];
+  ]
+
+(* --- agreement of the two detectors on random structured streams ----------- *)
+
+(* Streams are generated program-like: a bounded number of threads, each
+   event either a data access, a lock-protected data access, or a sync
+   access; forks happen up-front so every thread is reachable. *)
+let stream_gen : Interp.event list QCheck.Gen.t =
+  QCheck.Gen.(
+    let nthreads = 3 in
+    let event =
+      int_range 0 (nthreads - 1) >>= fun tid ->
+      frequency
+        [
+          ( 3,
+            map2
+              (fun v write -> [ data ~write tid (Interp.Gvar (v, 0)) ])
+              (int_range 0 2) bool );
+          ( 3,
+            map3
+              (fun l v write ->
+                [
+                  sync tid (Interp.Svar (l, 0));
+                  data ~write tid (Interp.Gvar (v, 0));
+                  sync tid (Interp.Svar (l, 0));
+                ])
+              (int_range 0 1) (int_range 0 2) bool );
+          (2, map (fun l -> [ sync tid (Interp.Svar (l, 0)) ]) (int_range 0 1));
+        ]
+    in
+    map
+      (fun chunks -> [ fork 0 1; fork 0 2 ] @ List.concat chunks)
+      (list_size (int_range 0 25) event))
+
+let agreement_tests =
+  [
+    qtest
+      (QCheck.Test.make ~name:"vclock and goldilocks agree" ~count:1000
+         (QCheck.make stream_gen) (fun events ->
+           vc_races events = gold_races events));
+    qtest
+      (QCheck.Test.make ~name:"detectors agree on the racing variable"
+         ~count:1000 (QCheck.make stream_gen) (fun events ->
+           match
+             ( Vcdetect.observe Vcdetect.empty events,
+               Goldilocks.observe Goldilocks.empty events )
+           with
+           | Ok _, Ok _ -> true
+           | Error a, Error b -> a.Icb_race.Report.var = b.Icb_race.Report.var
+           | Error _, Ok _ | Ok _, Error _ -> false));
+    qtest
+      (QCheck.Test.make ~name:"detection is stable under chunked observation"
+         ~count:300 (QCheck.make stream_gen) (fun events ->
+           (* feeding events one at a time gives the same verdict *)
+           let one_shot = vc_races events in
+           let incremental =
+             let rec go det = function
+               | [] -> false
+               | e :: rest -> (
+                 match Vcdetect.observe det [ e ] with
+                 | Ok det -> go det rest
+                 | Error _ -> true)
+             in
+             go Vcdetect.empty events
+           in
+           one_shot = incremental));
+  ]
+
+(* --- happens-before signatures --------------------------------------------- *)
+
+let hb_sig events = Hbsig.signature (Hbsig.observe Hbsig.empty events)
+
+let hbsig_tests =
+  [
+    Alcotest.test_case "reordering independent steps preserves the signature"
+      `Quick (fun () ->
+        let a = sync 1 (Interp.Svar (0, 0)) in
+        let b = sync 2 (Interp.Svar (1, 0)) in
+        check Alcotest.int64 "swap"
+          (hb_sig [ fork 0 1; fork 0 2; a; b ])
+          (hb_sig [ fork 0 1; fork 0 2; b; a ]));
+    Alcotest.test_case "reordering dependent steps changes the signature"
+      `Quick (fun () ->
+        let a = sync 1 l0 in
+        let b = sync 2 l0 in
+        check Alcotest.bool "differ" true
+          (hb_sig [ fork 0 1; fork 0 2; a; b ]
+          <> hb_sig [ fork 0 1; fork 0 2; b; a ]));
+    Alcotest.test_case "longer executions have new signatures" `Quick
+      (fun () ->
+        check Alcotest.bool "prefix differs" true
+          (hb_sig [ sync 0 l0 ] <> hb_sig [ sync 0 l0; sync 0 l0 ]));
+    Alcotest.test_case
+      "machine: equivalent schedules of independent threads collide" `Quick
+      (fun () ->
+        (* two threads lock distinct mutexes: schedules that interleave them
+           differently must produce the same HB signature at the end *)
+        let prog =
+          Icb.compile
+            {|
+mutex m1; mutex m2;
+proc w1() { lock(m1); unlock(m1); }
+proc w2() { lock(m2); unlock(m2); }
+main { spawn w1(); spawn w2(); }
+|}
+        in
+        let run schedule =
+          let r = Interp.start Interp.Sync_only prog in
+          let st = ref r.Interp.state in
+          let hbs = ref (Hbsig.observe Hbsig.empty r.Interp.events) in
+          List.iter
+            (fun t ->
+              let res = Interp.step Interp.Sync_only !st t in
+              st := res.Interp.state;
+              hbs := Hbsig.observe !hbs res.Interp.events)
+            schedule;
+          Hbsig.signature !hbs
+        in
+        check Alcotest.int64 "interleavings collide"
+          (run [ 0; 0; 1; 2; 1; 2 ])
+          (run [ 0; 0; 2; 1; 2; 1 ]));
+  ]
+
+(* --- end-to-end: race checking inside the search --------------------------- *)
+
+let search_race_tests =
+  [
+    Alcotest.test_case "racy model is caught under Sync_only" `Quick (fun () ->
+        let prog =
+          Icb.compile
+            {|
+var g: int;
+event manual d1; event manual d2;
+proc w1() { g = 1; signal(d1); }
+proc w2() { g = 2; signal(d2); }
+main { spawn w1(); spawn w2(); wait(d1); wait(d2); }
+|}
+        in
+        match Icb.check prog ~max_bound:2 with
+        | Some b ->
+          check Alcotest.bool "is a race" true
+            (String.length b.Icb_search.Sresult.key >= 5
+            && String.sub b.key 0 5 = "race:")
+        | None -> Alcotest.fail "expected a race");
+    Alcotest.test_case "goldilocks config finds the same race" `Quick
+      (fun () ->
+        let prog =
+          Icb.compile
+            {|
+var g: int;
+event manual d1; event manual d2;
+proc w1() { g = 1; signal(d1); }
+proc w2() { g = 2; signal(d2); }
+main { spawn w1(); spawn w2(); wait(d1); wait(d2); }
+|}
+        in
+        let config =
+          { Icb_search.Mach_engine.default_config with detector = `Goldilocks }
+        in
+        match Icb.check ~config prog ~max_bound:2 with
+        | Some b ->
+          check Alcotest.bool "is a race" true
+            (String.sub b.Icb_search.Sresult.key 0 5 = "race:")
+        | None -> Alcotest.fail "expected a race");
+    Alcotest.test_case "lock-protected model is race-free" `Quick (fun () ->
+        let prog =
+          Icb.compile
+            {|
+var g: int;
+mutex m;
+event manual d1; event manual d2;
+proc w1() { lock(m); g = 1; unlock(m); signal(d1); }
+proc w2() { lock(m); g = 2; unlock(m); signal(d2); }
+main { spawn w1(); spawn w2(); wait(d1); wait(d2); }
+|}
+        in
+        check Alcotest.bool "clean" true (Icb.check prog ~max_bound:5 = None));
+  ]
+
+let () =
+  Alcotest.run "race"
+    [
+      ("vclock", vclock_tests);
+      ("detectors", detector_tests);
+      ("agreement", agreement_tests);
+      ("hbsig", hbsig_tests);
+      ("search", search_race_tests);
+    ]

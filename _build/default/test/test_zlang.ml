@@ -1,0 +1,594 @@
+module Ast = Icb_zlang.Ast
+module Lexer = Icb_zlang.Lexer
+module Parser = Icb_zlang.Parser
+module Pretty = Icb_zlang.Pretty
+module Token = Icb_zlang.Token
+module Zl = Icb_zlang.Zl
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let tokens src = List.map fst (Lexer.tokenize src)
+
+let token_testable =
+  Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt (Token.to_string t))
+    ( = )
+
+let lexer_tests =
+  [
+    Alcotest.test_case "keywords vs identifiers" `Quick (fun () ->
+        check (Alcotest.list token_testable) "mix"
+          [ Token.KW_var; Token.IDENT "varx"; Token.COLON; Token.KW_int;
+            Token.EOF ]
+          (tokens "var varx: int"));
+    Alcotest.test_case "operators, including two-char" `Quick (fun () ->
+        check (Alcotest.list token_testable) "ops"
+          [ Token.LT; Token.LE; Token.EQ; Token.ASSIGN; Token.NE; Token.BANG;
+            Token.ANDAND; Token.OROR; Token.EOF ]
+          (tokens "< <= == = != ! && ||"));
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        check (Alcotest.list token_testable) "comments"
+          [ Token.INT 1; Token.INT 2; Token.EOF ]
+          (tokens "1 // line\n/* block\n over lines */ 2"));
+    Alcotest.test_case "string escapes" `Quick (fun () ->
+        check (Alcotest.list token_testable) "string"
+          [ Token.STRING "a\"b\n"; Token.EOF ]
+          (tokens {|"a\"b\n"|}));
+    Alcotest.test_case "positions advance over newlines" `Quick (fun () ->
+        match Lexer.tokenize "x\n  y" with
+        | [ (_, p1); (_, p2); _ ] ->
+          check Alcotest.int "line 1" 1 p1.Lexer.line;
+          check Alcotest.int "line 2" 2 p2.Lexer.line;
+          check Alcotest.int "col 3" 3 p2.Lexer.col
+        | _ -> Alcotest.fail "unexpected token count");
+    Alcotest.test_case "unterminated comment" `Quick (fun () ->
+        match Lexer.tokenize "/* never closed" with
+        | exception Lexer.Error (_, msg) ->
+          check Alcotest.string "msg" "unterminated comment" msg
+        | _ -> Alcotest.fail "expected a lexer error");
+    Alcotest.test_case "unterminated string" `Quick (fun () ->
+        match Lexer.tokenize {|"abc|} with
+        | exception Lexer.Error (_, _) -> ()
+        | _ -> Alcotest.fail "expected a lexer error");
+    Alcotest.test_case "stray character" `Quick (fun () ->
+        match Lexer.tokenize "a $ b" with
+        | exception Lexer.Error (_, _) -> ()
+        | _ -> Alcotest.fail "expected a lexer error");
+  ]
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let parse_expr_str s = Pretty.expr_to_string (Parser.parse_expr s)
+
+let parser_tests =
+  [
+    Alcotest.test_case "precedence" `Quick (fun () ->
+        check Alcotest.string "mul binds tighter" "1 + 2 * 3"
+          (parse_expr_str "1 + 2 * 3");
+        check Alcotest.string "parens preserved where needed" "(1 + 2) * 3"
+          (parse_expr_str "(1 + 2) * 3");
+        check Alcotest.string "comparison vs bool" "a < b && c < d"
+          (parse_expr_str "a < b && c < d");
+        check Alcotest.string "or loosest" "a && b || c && d"
+          (parse_expr_str "(a && b) || (c && d)"));
+    Alcotest.test_case "left associativity" `Quick (fun () ->
+        check Alcotest.string "sub chains left" "1 - 2 - 3"
+          (parse_expr_str "1 - 2 - 3");
+        check Alcotest.string "explicit right needs parens" "1 - (2 - 3)"
+          (parse_expr_str "1 - (2 - 3)"));
+    Alcotest.test_case "unary operators" `Quick (fun () ->
+        check Alcotest.string "neg" "-x + 1" (parse_expr_str "-x + 1");
+        check Alcotest.string "not" "!a && b" (parse_expr_str "!a && b"));
+    Alcotest.test_case "else-if chains" `Quick (fun () ->
+        let p =
+          Zl.parse_source
+            {|
+main {
+  var x: int;
+  if (x == 1) { x = 2; } else if (x == 2) { x = 3; } else { x = 4; }
+}
+|}
+        in
+        match p.Ast.procs with
+        | [ { p_body = [ _; { s = Ast.Sif (_, _, [ { s = Ast.Sif (_, _, e); _ } ]); _ } ]; _ } ]
+          -> check Alcotest.int "final else" 1 (List.length e)
+        | _ -> Alcotest.fail "unexpected shape");
+    Alcotest.test_case "syntax errors carry positions" `Quick (fun () ->
+        match Zl.parse_source "main { var ; }" with
+        | exception Zl.Error msg ->
+          check Alcotest.bool "mentions line" true
+            (String.length msg > 0
+            && String.sub msg 0 4 = "line")
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "cas must assign to a variable" `Quick (fun () ->
+        match Zl.parse_source
+                {|
+volatile var v: int;
+var a[2]: int;
+main { a[0] = cas(v, 0, 1); }
+|}
+        with
+        | exception Zl.Error _ -> ()
+        | _ -> Alcotest.fail "expected a parse error");
+  ]
+
+(* --- typechecker ------------------------------------------------------------ *)
+
+let expect_type_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Zl.compile_source src with
+      | exception Zl.Error msg ->
+        check Alcotest.bool "is a type error" true
+          (let has_sub needle hay =
+             let nl = String.length needle and hl = String.length hay in
+             let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+             go 0
+           in
+           has_sub "type error" msg)
+      | _ -> Alcotest.fail "expected a type error")
+
+let typecheck_tests =
+  [
+    expect_type_error "unknown variable" "main { x = 1; }";
+    expect_type_error "type mismatch in assignment"
+      "var g: int; main { g = true; }";
+    expect_type_error "condition must be bool" "main { if (1) { skip; } }";
+    expect_type_error "arith needs ints" "main { var b: bool; var x: int = b + 1; }";
+    expect_type_error "comparing different types"
+      "main { var b: bool; var x: int; var r: bool = b == x; }";
+    expect_type_error "cas on non-volatile global"
+      "var g: int; main { var r: int; r = cas(g, 0, 1); }";
+    expect_type_error "lock of an event" "event e; main { lock(e); }";
+    expect_type_error "wait on a mutex" "mutex m; main { wait(m); }";
+    expect_type_error "acquire of a mutex" "mutex m; main { acquire(m); }";
+    expect_type_error "break outside loop" "main { break; }";
+    expect_type_error "continue outside loop" "main { continue; }";
+    expect_type_error "duplicate global" "var g: int; var g: bool; main { }";
+    expect_type_error "sync object and global share the namespace"
+      "var m: int; mutex m; main { }";
+    expect_type_error "shadowing rejected"
+      "main { var x: int; if (x == 0) { var x: int; } }";
+    expect_type_error "spawn arity" "proc w(a: int) { } main { spawn w(); }";
+    expect_type_error "spawn argument type"
+      "proc w(a: int) { } main { spawn w(true); }";
+    Alcotest.test_case "spawning main is rejected" `Quick (fun () ->
+        (* `main` is a keyword, so this dies in the parser; the type
+           checker also guards against it for hand-built ASTs *)
+        match Zl.compile_source "main { spawn main(); }" with
+        | exception Zl.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    expect_type_error "indexing a scalar" "var g: int; main { g[0] = 1; }";
+    expect_type_error "array must be indexed" "var a[2]: int; main { a = 1; }";
+    expect_type_error "scalar sync indexed" "mutex m; main { lock(m[0]); }";
+    expect_type_error "array sync unindexed" "mutex m[2]; main { lock(m); }";
+    expect_type_error "free of a non-handle" "main { var x: int; free(x); }";
+    expect_type_error "heap cells hold ints"
+      "main { var h: handle; h = alloc(1); h[0] = true; }";
+    expect_type_error "assert needs bool" "main { assert(1); }";
+    expect_type_error "non-constant global initializer"
+      "var a: int = 1; var b: int = a; main { }";
+    expect_type_error "negative semaphore" "sem s = 0 - 1; main { }";
+    expect_type_error "initializer uses the variable being declared"
+      "main { var x: int = x; }";
+    Alcotest.test_case "missing main" `Quick (fun () ->
+        match Zl.compile_source "proc w() { }" with
+        | exception Zl.Error _ -> ()
+        | _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "volatile arrays and sync arrays accepted" `Quick
+      (fun () ->
+        let prog =
+          Zl.compile_source
+            {|
+volatile var v[3]: int;
+mutex locks[2];
+event evs[2];
+sem sems[2] = 1;
+main {
+  var r: int;
+  r = cas(v[1], 0, 5);
+  r = fetch_add(v[2], 1);
+  lock(locks[0]); unlock(locks[0]);
+  signal(evs[1]); wait(evs[1]);
+  acquire(sems[0]); release(sems[0]);
+}
+|}
+        in
+        Alcotest.(check (result unit string))
+          "validates" (Ok ())
+          (Icb_machine.Prog.validate prog));
+  ]
+
+(* --- pretty-printer round trip ------------------------------------------------ *)
+
+(* Random well-formed programs over a fixed environment of names. *)
+module Gen = struct
+  open QCheck.Gen
+
+  let ident_pool = [| "x"; "y"; "z"; "g"; "arr"; "flag" |]
+
+  (* expressions over int locals x, y and int global g, int array arr,
+     bool local/global flag handled by type parameter *)
+  let rec int_expr n st =
+    if n <= 0 then
+      (oneof
+         [
+           map (fun i -> Ast.{ e = Eint i; epos = Ast.dummy_pos }) (int_range 0 99);
+           oneofl
+             [
+               Ast.{ e = Evar "x"; epos = Ast.dummy_pos };
+               Ast.{ e = Evar "y"; epos = Ast.dummy_pos };
+               Ast.{ e = Evar "g"; epos = Ast.dummy_pos };
+             ];
+         ])
+        st
+    else
+      (frequency
+         [
+           (2, int_expr 0);
+           ( 3,
+             map2
+               (fun op (a, b) ->
+                 Ast.{ e = Ebinop (op, a, b); epos = Ast.dummy_pos })
+               (oneofl [ Ast.Badd; Ast.Bsub; Ast.Bmul; Ast.Bdiv; Ast.Bmod ])
+               (pair (int_expr (n / 2)) (int_expr (n / 2))) );
+           ( 1,
+             map
+               (fun a -> Ast.{ e = Eunop (Ast.Uneg, a); epos = Ast.dummy_pos })
+               (int_expr (n - 1)) );
+           ( 1,
+             map
+               (fun i -> Ast.{ e = Eindex ("arr", i); epos = Ast.dummy_pos })
+               (int_expr (n - 1)) );
+         ])
+        st
+
+  let rec bool_expr n st =
+    if n <= 0 then
+      (oneofl
+         [
+           Ast.{ e = Ebool true; epos = Ast.dummy_pos };
+           Ast.{ e = Ebool false; epos = Ast.dummy_pos };
+           Ast.{ e = Evar "flag"; epos = Ast.dummy_pos };
+         ])
+        st
+    else
+      (frequency
+         [
+           (1, bool_expr 0);
+           ( 2,
+             map2
+               (fun op (a, b) ->
+                 Ast.{ e = Ebinop (op, a, b); epos = Ast.dummy_pos })
+               (oneofl [ Ast.Blt; Ast.Ble; Ast.Bgt; Ast.Bge; Ast.Beq; Ast.Bne ])
+               (pair (int_expr (n / 2)) (int_expr (n / 2))) );
+           ( 2,
+             map2
+               (fun op (a, b) ->
+                 Ast.{ e = Ebinop (op, a, b); epos = Ast.dummy_pos })
+               (oneofl [ Ast.Band; Ast.Bor ])
+               (pair (bool_expr (n / 2)) (bool_expr (n / 2))) );
+           ( 1,
+             map
+               (fun a -> Ast.{ e = Eunop (Ast.Unot, a); epos = Ast.dummy_pos })
+               (bool_expr (n - 1)) );
+         ])
+        st
+
+  let rec stmt ~in_atomic n st =
+    let mk s = Ast.{ s; spos = Ast.dummy_pos } in
+    if n <= 0 then
+      (oneof
+         ([
+            map (fun e -> mk (Ast.Sassign (Ast.Lvar "x", e))) (int_expr 2);
+            map (fun e -> mk (Ast.Sassign (Ast.Lvar "g", e))) (int_expr 2);
+            map2
+              (fun i e -> mk (Ast.Sassign (Ast.Lindex ("arr", i), e)))
+              (int_expr 1) (int_expr 1);
+            return (mk Ast.Sskip);
+            map (fun e -> mk (Ast.Sassert (e, "prop"))) (bool_expr 2);
+            return
+              (mk
+                 (Ast.Ssync
+                    (Ast.Olock, { oname = "m"; oindex = None; opos = Ast.dummy_pos })));
+            return
+              (mk
+                 (Ast.Ssync
+                    ( Ast.Ounlock,
+                      { oname = "m"; oindex = None; opos = Ast.dummy_pos } )));
+          ]
+         @ if in_atomic then [] else [ return (mk Ast.Syield) ]))
+        st
+    else
+      (frequency
+         [
+           (4, stmt ~in_atomic 0);
+           ( 1,
+             map2
+               (fun c (t, e) -> mk (Ast.Sif (c, t, e)))
+               (bool_expr 2)
+               (pair (block ~in_atomic (n - 1)) (block ~in_atomic (n - 1))) );
+           ( 1,
+             map2
+               (fun c b -> mk (Ast.Swhile (c, b)))
+               (bool_expr 2)
+               (block ~in_atomic (n - 1)) );
+           (1, map (fun b -> mk (Ast.Satomic b)) (block ~in_atomic:true (n - 1)));
+         ])
+        st
+
+  and block ~in_atomic n =
+    QCheck.Gen.list_size (QCheck.Gen.int_range 0 3) (stmt ~in_atomic n)
+
+  let program =
+    QCheck.Gen.map
+      (fun body ->
+        {
+          Ast.globals =
+            [
+              {
+                Ast.g_name = "g";
+                g_type = Ast.Tint;
+                g_size = None;
+                g_init = Some Ast.{ e = Eint 0; epos = dummy_pos };
+                g_volatile = false;
+                g_pos = Ast.dummy_pos;
+              };
+              {
+                Ast.g_name = "arr";
+                g_type = Ast.Tint;
+                g_size = Some Ast.{ e = Eint 4; epos = dummy_pos };
+                g_init = None;
+                g_volatile = true;
+                g_pos = Ast.dummy_pos;
+              };
+            ];
+          syncs =
+            [
+              {
+                Ast.s_name = "m";
+                s_kind = Ast.Dmutex;
+                s_size = None;
+                s_pos = Ast.dummy_pos;
+              };
+            ];
+          procs =
+            [
+              {
+                Ast.p_name = "main";
+                p_params = [];
+                p_body =
+                  Ast.
+                    [
+                      { s = Sdecl { name = "x"; typ = Tint; init = None }; spos = dummy_pos };
+                      { s = Sdecl { name = "y"; typ = Tint; init = Some { e = Eint 1; epos = dummy_pos } }; spos = dummy_pos };
+                      { s = Sdecl { name = "flag"; typ = Tbool; init = None }; spos = dummy_pos };
+                    ]
+                  @ body;
+              p_pos = Ast.dummy_pos;
+              };
+            ];
+        })
+      (block ~in_atomic:false 3)
+
+  let _ = ident_pool
+end
+
+(* Structural equality ignoring positions. *)
+let rec strip_expr (e : Ast.expr) : Ast.expr =
+  let e' =
+    match e.e with
+    | Ast.Eint _ | Ast.Ebool _ | Ast.Enull | Ast.Evar _ -> e.e
+    | Ast.Eindex (n, i) -> Ast.Eindex (n, strip_expr i)
+    | Ast.Eunop (op, a) -> Ast.Eunop (op, strip_expr a)
+    | Ast.Ebinop (op, a, b) -> Ast.Ebinop (op, strip_expr a, strip_expr b)
+  in
+  { Ast.e = e'; epos = Ast.dummy_pos }
+
+let rec strip_stmt (st : Ast.stmt) : Ast.stmt =
+  let s =
+    match st.s with
+    | Ast.Sdecl { name; typ; init } ->
+      Ast.Sdecl { name; typ; init = Option.map strip_expr init }
+    | Ast.Sassign (Ast.Lvar n, e) -> Ast.Sassign (Ast.Lvar n, strip_expr e)
+    | Ast.Sassign (Ast.Lindex (n, i), e) ->
+      Ast.Sassign (Ast.Lindex (n, strip_expr i), strip_expr e)
+    | Ast.Scas { dst; glob; expect; update } ->
+      Ast.Scas
+        {
+          dst;
+          glob = { glob with tindex = Option.map strip_expr glob.tindex; tpos = Ast.dummy_pos };
+          expect = strip_expr expect;
+          update = strip_expr update;
+        }
+    | Ast.Sfetch_add { dst; glob; delta } ->
+      Ast.Sfetch_add
+        {
+          dst;
+          glob = { glob with tindex = Option.map strip_expr glob.tindex; tpos = Ast.dummy_pos };
+          delta = strip_expr delta;
+        }
+    | Ast.Salloc { dst; size } -> Ast.Salloc { dst; size = strip_expr size }
+    | Ast.Sfree n -> Ast.Sfree n
+    | Ast.Ssync (op, o) ->
+      Ast.Ssync
+        (op, { o with oindex = Option.map strip_expr o.oindex; opos = Ast.dummy_pos })
+    | Ast.Sspawn { proc; args } ->
+      Ast.Sspawn { proc; args = List.map strip_expr args }
+    | Ast.Syield | Ast.Sskip | Ast.Sbreak | Ast.Scontinue | Ast.Sreturn -> st.s
+    | Ast.Sassert (e, m) -> Ast.Sassert (strip_expr e, m)
+    | Ast.Sif (c, t, e) ->
+      Ast.Sif (strip_expr c, List.map strip_stmt t, List.map strip_stmt e)
+    | Ast.Swhile (c, b) -> Ast.Swhile (strip_expr c, List.map strip_stmt b)
+    | Ast.Satomic b -> Ast.Satomic (List.map strip_stmt b)
+  in
+  { Ast.s; spos = Ast.dummy_pos }
+
+let strip_program (p : Ast.program) : Ast.program =
+  {
+    Ast.globals =
+      List.map
+        (fun g ->
+          {
+            g with
+            Ast.g_size = Option.map strip_expr g.Ast.g_size;
+            g_init = Option.map strip_expr g.Ast.g_init;
+            g_pos = Ast.dummy_pos;
+          })
+        p.globals;
+    syncs =
+      List.map
+        (fun s ->
+          {
+            s with
+            Ast.s_size = Option.map strip_expr s.Ast.s_size;
+            s_kind =
+              (match s.Ast.s_kind with
+              | Ast.Dsem e -> Ast.Dsem (Option.map strip_expr e)
+              | k -> k);
+            s_pos = Ast.dummy_pos;
+          })
+        p.syncs;
+    procs =
+      List.map
+        (fun pr ->
+          {
+            pr with
+            Ast.p_body = List.map strip_stmt pr.Ast.p_body;
+            p_pos = Ast.dummy_pos;
+          })
+        p.procs;
+  }
+
+(* Constant expressions evaluated two ways: the type checker's constant
+   folder versus compiling `g = <expr>` and running the machine — an
+   end-to-end check of the expression compiler and the interpreter's
+   arithmetic. *)
+module Const_gen = struct
+  open QCheck.Gen
+
+  let rec expr n st =
+    if n <= 0 then
+      (map (fun i -> Ast.{ e = Eint i; epos = dummy_pos }) (int_range (-50) 50)) st
+    else
+      (frequency
+         [
+           (2, expr 0);
+           ( 4,
+             map2
+               (fun op (a, b) ->
+                 Ast.{ e = Ebinop (op, a, b); epos = dummy_pos })
+               (oneofl [ Ast.Badd; Ast.Bsub; Ast.Bmul; Ast.Bdiv; Ast.Bmod ])
+               (pair (expr (n / 2)) (expr (n / 2))) );
+           ( 1,
+             map
+               (fun a -> Ast.{ e = Eunop (Ast.Uneg, a); epos = dummy_pos })
+               (expr (n - 1)) );
+         ])
+        st
+end
+
+let const_vs_compiled =
+  qtest
+    (QCheck.Test.make ~name:"constant folding agrees with compiled execution"
+       ~count:300
+       (QCheck.make ~print:Pretty.expr_to_string (Const_gen.expr 4))
+       (fun e ->
+         let text = Pretty.expr_to_string e in
+         match Icb_zlang.Typecheck.(check (Parser.parse (Printf.sprintf "var probe: int = %s; main { }" text))) with
+         | exception Icb_zlang.Typecheck.Error (_, msg) ->
+           (* division by zero inside the constant: the runtime must agree
+              that the expression is divergent *)
+           let has_sub needle hay =
+             let nl = String.length needle and hl = String.length hay in
+             let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+             go 0
+           in
+           if not (has_sub "constant" msg) then
+             QCheck.Test.fail_reportf "unexpected type error %s on %s" msg text
+           else begin
+             (* run it dynamically: must hit a division-by-zero error *)
+             let prog =
+               Icb.compile (Printf.sprintf "var g: int;
+main { g = %s; }" text)
+             in
+             let module E = (val Icb.engine ~config:Icb_search.Mach_engine.zing_config prog) in
+             let rec run st =
+               match E.status st with
+               | Icb_search.Engine.Running -> run (E.step st 0)
+               | s -> s
+             in
+             match run (E.initial ()) with
+             | Icb_search.Engine.Failed { key; _ } -> key = "div-by-zero"
+             | _ -> false
+           end
+         | tast ->
+           let folded =
+             match (tast.Icb_zlang.Tast.tglobals.(0)).Icb_machine.Prog.ginit with
+             | Icb_machine.Value.Int n -> n
+             | _ -> QCheck.Test.fail_report "non-int constant"
+           in
+           let prog =
+             Icb.compile (Printf.sprintf "var g: int;
+main { g = %s; }" text)
+           in
+           let module E = (val Icb.engine ~config:Icb_search.Mach_engine.zing_config prog) in
+           let rec run st =
+             match E.status st with
+             | Icb_search.Engine.Running -> run (E.step st 0)
+             | _ -> st
+           in
+           let final = Icb_search.Mach_engine.machine_state (run (E.initial ())) in
+           Icb_machine.Value.as_int
+             (Icb_machine.State.global_get final ~gid:0 ~idx:0)
+           = folded))
+
+let roundtrip_tests =
+  [
+    qtest
+      (QCheck.Test.make ~name:"parse (pretty p) = p" ~count:300
+         (QCheck.make ~print:Pretty.program_to_string Gen.program)
+         (fun p ->
+           let printed = Pretty.program_to_string p in
+           let reparsed =
+             try Parser.parse printed
+             with e ->
+               QCheck.Test.fail_reportf "reparse failed: %s@.%s"
+                 (Printexc.to_string e) printed
+           in
+           strip_program reparsed = strip_program p));
+    qtest
+      (QCheck.Test.make ~name:"generated programs typecheck and compile"
+         ~count:150
+         (QCheck.make ~print:Pretty.program_to_string Gen.program)
+         (fun p ->
+           let prog =
+             Icb_zlang.Compile.program (Icb_zlang.Typecheck.check p)
+           in
+           Result.is_ok (Icb_machine.Prog.validate prog)));
+    const_vs_compiled;
+    Alcotest.test_case "all model sources round-trip" `Quick (fun () ->
+        List.iter
+          (fun (e : Icb_models.Registry.entry) ->
+            match e.correct_source with
+            | Some src ->
+              let p = Zl.parse_source src in
+              let printed = Pretty.program_to_string p in
+              let p2 = Zl.parse_source printed in
+              Alcotest.(check bool)
+                (e.model_name ^ " round-trips") true
+                (strip_program p = strip_program p2)
+            | None -> ())
+          Icb_models.Registry.all);
+  ]
+
+let () =
+  Alcotest.run "zlang"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("typecheck", typecheck_tests);
+      ("roundtrip", roundtrip_tests);
+    ]
