@@ -1,6 +1,7 @@
 (* Command-line interface to the checker.
 
    icb check FILE            -- iterative context bounding, stop at first bug
+   icb resume CHECKPOINT     -- continue an interrupted check
    icb explore FILE          -- run a strategy, print statistics
    icb compile FILE          -- type-check and dump the compiled program
    icb models                -- list bundled benchmark models
@@ -10,35 +11,10 @@ open Cmdliner
 
 let load_program path = Icb.compile_file path
 
-(* Bundled models are addressed as "<model>" or "<model>:<variant>". *)
-let bundled_programs () =
-  List.concat_map
-    (fun (e : Icb_models.Registry.entry) ->
-      let base = String.lowercase_ascii e.model_name in
-      let base =
-        String.map (fun c -> if c = ' ' then '-' else c) base
-      in
-      let correct =
-        match e.correct_program with
-        | Some p -> [ (base, p) ]
-        | None -> []
-      in
-      correct
-      @ List.map
-          (fun (b : Icb_models.Registry.bug_spec) ->
-            (* the registry's display names can contain spaces; address
-               bugs by their first token *)
-            let short =
-              match String.index_opt b.bug_name ' ' with
-              | Some i -> String.sub b.bug_name 0 i
-              | None -> b.bug_name
-            in
-            (base ^ ":" ^ short, b.bug_program))
-          e.bugs)
-    Icb_models.Registry.all
-
+(* Bundled models are addressed as "<model>" or "<model>:<variant>"; the
+   registry guarantees the names are collision-free. *)
 let resolve_model name =
-  match List.assoc_opt name (bundled_programs ()) with
+  match List.assoc_opt name (Icb_models.Registry.addressable ()) with
   | Some p -> Ok (p ())
   | None ->
     Error
@@ -65,14 +41,76 @@ let granularity_arg =
     & opt (enum [ ("sync", `Sync); ("every", `Every) ]) `Sync
     & info [ "granularity" ] ~docv:"MODE" ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds.  When it expires the search stops with \
+     a partial result (and writes a final checkpoint if $(b,--checkpoint) \
+     is set) instead of running unbounded; continue later with $(b,icb \
+     resume).  See docs/RESILIENCE.md."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write the search frontier and coverage counters to $(docv) (atomic \
+     write-rename, versioned format) periodically and whenever the search \
+     stops, so an interrupted run can be continued with $(b,icb resume)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Executions between periodic checkpoint writes (default 500)." in
+  Arg.(
+    value
+    & opt int Icb_search.Explore.default_checkpoint_every
+    & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a heartbeat line (executions/sec, current bound, elapsed) on \
+     stderr about once a second.  On by default when stderr is a \
+     terminal."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let config_of_granularity = function
   | `Sync -> Icb_search.Mach_engine.default_config
   | `Every -> Icb_search.Mach_engine.zing_config
 
-let options_of ~no_deadlock =
-  { Icb_search.Collector.default_options with deadlock_is_error = not no_deadlock }
+let granularity_name = function `Sync -> "sync" | `Every -> "every"
 
-(* --- check ------------------------------------------------------------------ *)
+(* A once-a-second heartbeat on stderr; the collector calls it after every
+   execution, the closure throttles. *)
+let heartbeat () =
+  let last = ref 0.0 in
+  fun (p : Icb_search.Collector.progress) ->
+    let now = Unix.gettimeofday () in
+    if now -. !last >= 1.0 then begin
+      last := now;
+      let rate =
+        if p.p_elapsed > 0.0 then float_of_int p.p_executions /. p.p_elapsed
+        else 0.0
+      in
+      Format.eprintf "[icb] %d executions (%.0f/s)%s, %d states, %d bugs, %.0fs elapsed@."
+        p.p_executions rate
+        (match p.p_bound with
+        | Some b -> Printf.sprintf ", bound %d" b
+        | None -> "")
+        p.p_states p.p_bugs p.p_elapsed
+    end
+
+let options_of ~no_deadlock ~timeout ~progress =
+  {
+    Icb_search.Collector.default_options with
+    deadlock_is_error = not no_deadlock;
+    deadline = Option.map Icb_search.Collector.deadline_in timeout;
+    on_progress =
+      (if progress || Unix.isatty Unix.stderr then Some (heartbeat ())
+       else None);
+  }
+
+(* --- check / check-model / resume ------------------------------------------- *)
 
 let report_bug prog (bug : Icb.bug) =
   Format.printf "BUG FOUND (%d preemption%s):@.  %a@.@.trace:@." bug.preemptions
@@ -80,21 +118,80 @@ let report_bug prog (bug : Icb.bug) =
     Icb.pp_bug bug;
   List.iter (fun l -> Format.printf "  %s@." l) (Icb.explain prog bug)
 
-let check_run path bound no_deadlock gran =
+(* Fail before the search starts, not hours into it when the first
+   periodic write fires. *)
+let validate_checkpoint_path = function
+  | None -> ()
+  | Some path ->
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Format.eprintf
+        "cannot write checkpoints to %s: %s is not an existing directory@."
+        path dir;
+      exit 2
+    end
+
+(* Shared driver behind check, check-model and resume: ICB stopping at the
+   first bug, with optional deadline and checkpointing.  Exit codes:
+   0 no bug, 1 bug found, 2 usage error, 3 interrupted (partial result). *)
+let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
+    ~resume_from () =
+  validate_checkpoint_path checkpoint;
+  let config = config_of_granularity gran in
+  let options =
+    { options with Icb_search.Collector.stop_at_first_bug = true }
+  in
+  let r =
+    match resume_from with
+    | Some ckpt ->
+      Icb.resume ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
+        ~checkpoint_meta:meta prog ckpt
+    | None ->
+      Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
+        ~checkpoint_meta:meta
+        ~strategy:
+          (Icb_search.Explore.Icb { max_bound = Some bound; cache = false })
+        prog
+  in
+  match r.Icb_search.Sresult.bugs with
+  | bug :: _ ->
+    report_bug prog bug;
+    exit 1
+  | [] -> (
+    match r.Icb_search.Sresult.stop_reason with
+    | None ->
+      Format.printf "no bug found in executions with at most %d preemptions@."
+        bound
+    | Some reason ->
+      Format.eprintf
+        "search interrupted (%s) after %d executions, %d states — no bug so \
+         far%s@."
+        (Icb_search.Sresult.stop_reason_string reason)
+        r.executions r.distinct_states
+        (match checkpoint with
+        | Some f -> Printf.sprintf "; continue with `icb resume %s`" f
+        | None -> "");
+      exit 3)
+
+let check_run path bound no_deadlock gran timeout checkpoint checkpoint_every
+    progress =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
     exit 2
-  | prog -> (
-    let config = config_of_granularity gran in
-    let options = options_of ~no_deadlock in
-    match Icb.check ~config ~options ~max_bound:bound prog with
-    | Some bug ->
-      report_bug prog bug;
-      exit 1
-    | None ->
-      Format.printf "no bug found in executions with at most %d preemptions@."
-        bound)
+  | prog ->
+    let meta =
+      [
+        ("kind", "file");
+        ("target", path);
+        ("bound", string_of_int bound);
+        ("granularity", granularity_name gran);
+        ("no-deadlock", string_of_bool no_deadlock);
+      ]
+    in
+    run_check ~prog ~meta ~bound
+      ~options:(options_of ~no_deadlock ~timeout ~progress)
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ()
 
 let check_cmd =
   let path =
@@ -104,41 +201,149 @@ let check_cmd =
       & info [] ~docv:"FILE" ~doc:"Model source file.")
   in
   let doc = "systematically test a model with iterative context bounding" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Explores thread schedules in increasing order of preempting \
+         context switches, stopping at the first bug.  With \
+         $(b,--timeout) and $(b,--checkpoint) the search is interruptible \
+         and resumable; see docs/RESILIENCE.md for the checkpoint format \
+         and guarantees.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "check" ~doc)
-    Term.(const check_run $ path $ bound_arg $ no_deadlock_arg $ granularity_arg)
+    (Cmd.info "check" ~doc ~man)
+    Term.(
+      const check_run $ path $ bound_arg $ no_deadlock_arg $ granularity_arg
+      $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg $ progress_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
-let check_model_run name bound no_deadlock gran =
+let check_model_run name bound no_deadlock gran timeout checkpoint
+    checkpoint_every progress =
   match resolve_model name with
   | Error msg ->
     Format.eprintf "%s@." msg;
     exit 2
-  | Ok prog -> (
-    let config = config_of_granularity gran in
-    let options = options_of ~no_deadlock in
-    match Icb.check ~config ~options ~max_bound:bound prog with
-    | Some bug ->
-      report_bug prog bug;
-      exit 1
-    | None ->
-      Format.printf "no bug found in executions with at most %d preemptions@."
-        bound)
+  | Ok prog ->
+    let meta =
+      [
+        ("kind", "model");
+        ("target", name);
+        ("bound", string_of_int bound);
+        ("granularity", granularity_name gran);
+        ("no-deadlock", string_of_bool no_deadlock);
+      ]
+    in
+    run_check ~prog ~meta ~bound
+      ~options:(options_of ~no_deadlock ~timeout ~progress)
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ()
 
 let check_model_cmd =
   let model_name =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"MODEL" ~doc:"Bundled model name, e.g. bluetooth:check-then-add-reference.")
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Bundled model name as printed by $(b,icb models), e.g. \
+             bluetooth:check-then-add-reference (or the single-bug alias \
+             bluetooth:bug).")
   in
   let doc = "check one of the bundled benchmark models" in
   Cmd.v
     (Cmd.info "check-model" ~doc)
     Term.(
       const check_model_run $ model_name $ bound_arg $ no_deadlock_arg
-      $ granularity_arg)
+      $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ progress_arg)
+
+(* --- resume ------------------------------------------------------------------- *)
+
+let resume_run file timeout checkpoint checkpoint_every progress =
+  match Icb_search.Checkpoint.load file with
+  | exception Icb_search.Checkpoint.Corrupt msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | ckpt -> (
+    let meta k = Icb_search.Checkpoint.meta_find ckpt k in
+    let missing what =
+      Format.eprintf
+        "checkpoint %s does not record %s (not written by `icb check`?)@."
+        file what;
+      exit 2
+    in
+    let prog =
+      match (meta "kind", meta "target") with
+      | Some "model", Some name -> (
+        match resolve_model name with
+        | Ok p -> p
+        | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2)
+      | Some "file", Some path -> (
+        match load_program path with
+        | p -> p
+        | exception Icb.Compile_error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+        | exception Sys_error msg ->
+          Format.eprintf
+            "cannot reload the checkpointed program: %s (the checkpoint \
+             records the model by path; restore the file or rerun `icb \
+             check`)@."
+            msg;
+          exit 2)
+      | _ -> missing "how to rebuild the program"
+    in
+    let bound =
+      match Option.bind (meta "bound") int_of_string_opt with
+      | Some b -> b
+      | None -> missing "the preemption bound"
+    in
+    let gran = if meta "granularity" = Some "every" then `Every else `Sync in
+    let no_deadlock = meta "no-deadlock" = Some "true" in
+    Format.eprintf "[icb] resuming %s@." (Icb_search.Checkpoint.describe ckpt);
+    run_check ~prog
+      ~meta:
+        (List.filter_map
+           (fun k -> Option.map (fun v -> (k, v)) (meta k))
+           [ "kind"; "target"; "bound"; "granularity"; "no-deadlock" ])
+      ~bound
+      ~options:(options_of ~no_deadlock ~timeout ~progress)
+      ~gran
+      ~checkpoint:(Some (Option.value checkpoint ~default:file))
+      ~checkpoint_every ~resume_from:(Some ckpt) ())
+
+let resume_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CHECKPOINT"
+          ~doc:"Checkpoint file written by $(b,icb check --checkpoint).")
+  in
+  let doc = "continue an interrupted check from a checkpoint" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads a checkpoint written by $(b,icb check --checkpoint FILE) or \
+         $(b,icb check-model --checkpoint FILE), rebuilds the program it \
+         records, and continues the search exactly where it stopped: same \
+         work queue, context bound, coverage counters and bug list.  By \
+         default new checkpoints overwrite the same file, so a run can be \
+         interrupted and resumed any number of times.  Truncated or \
+         corrupted checkpoints are rejected with a clear error.  See \
+         docs/RESILIENCE.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc ~man)
+    Term.(
+      const resume_run $ file $ timeout_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ progress_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -194,7 +399,7 @@ let parse_strategy s =
     | None -> Error ("bad strategy: " ^ s))
   | _ -> Error ("bad strategy: " ^ s)
 
-let explore_run path strategy no_deadlock gran max_execs =
+let explore_run path strategy no_deadlock gran max_execs timeout progress =
   match load_program path, parse_strategy strategy with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -206,7 +411,7 @@ let explore_run path strategy no_deadlock gran max_execs =
     let config = config_of_granularity gran in
     let options =
       {
-        (options_of ~no_deadlock) with
+        (options_of ~no_deadlock ~timeout ~progress) with
         Icb_search.Collector.max_executions = max_execs;
       }
     in
@@ -230,7 +435,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const explore_run $ path $ strategy_arg $ no_deadlock_arg
-      $ granularity_arg $ max_execs_arg)
+      $ granularity_arg $ max_execs_arg $ timeout_arg $ progress_arg)
 
 (* --- compile ------------------------------------------------------------------ *)
 
@@ -254,10 +459,11 @@ let compile_cmd =
 (* --- models ------------------------------------------------------------------- *)
 
 let models_run () =
-  Format.printf "bundled models (use with check-model):@.";
+  Format.printf
+    "bundled models (exact addressable names, use with check-model):@.";
   List.iter
     (fun (name, _) -> Format.printf "  %s@." name)
-    (bundled_programs ())
+    (Icb_models.Registry.addressable ())
 
 let models_cmd =
   let doc = "list the bundled benchmark models" in
@@ -272,4 +478,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; check_model_cmd; explore_cmd; compile_cmd; models_cmd ]))
+          [
+            check_cmd;
+            check_model_cmd;
+            resume_cmd;
+            explore_cmd;
+            compile_cmd;
+            models_cmd;
+          ]))

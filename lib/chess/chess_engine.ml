@@ -51,19 +51,57 @@ end) : Icb_search.Engine.S with type state = state = struct
       live = Some r;
     }
 
+  (* Replay a recorded schedule prefix on a fresh run, checking at every
+     step that the test body takes the same synchronization path it took
+     when the prefix was recorded.  A mismatch means the body is
+     nondeterministic (timing, [Random], I/O, or state leaking across
+     executions): report that directly instead of letting [Api.Run.step]
+     die with a bewildering [Invalid_argument]. *)
+  let diverged fmt = Format.kasprintf (fun detail ->
+      raise (Engine.Nondeterministic_program detail)) fmt
+
+  let replay_prefix s =
+    incr replay_count;
+    let r = Api.Run.create T.test in
+    let stepno = ref 0 in
+    List.iter
+      (fun t ->
+        (match Api.Run.status r with
+        | Api.Run.Running -> ()
+        | Api.Run.Terminated | Api.Run.Deadlock _ | Api.Run.Failed _ ->
+          diverged
+            "replay of the recorded schedule ended after %d of %d steps \
+             (the body finished earlier than when the schedule was \
+             recorded)"
+            !stepno (List.length s.sched_rev));
+        if not (List.mem t (Api.Run.enabled r)) then
+          diverged
+            "at replay step %d thread %d was recorded as running but is \
+             not enabled this time"
+            !stepno t;
+        ignore (Api.Run.step r t);
+        incr stepno)
+      (List.rev s.sched_rev);
+    (* the rebuilt run must look exactly like the recorded state did *)
+    (match s.status with
+    | Engine.Running ->
+      if Api.Run.enabled r <> s.enabled then
+        diverged
+          "after replaying %d steps the enabled threads are [%s] but [%s] \
+           were recorded"
+          !stepno
+          (String.concat " " (List.map string_of_int (Api.Run.enabled r)))
+          (String.concat " " (List.map string_of_int s.enabled))
+    | _ -> ());
+    r
+
   (* Rebuild a live run positioned at [s] by replaying its schedule. *)
   let materialize s =
     match s.live with
     | Some r ->
       s.live <- None;
       r
-    | None ->
-      incr replay_count;
-      let r = Api.Run.create T.test in
-      List.iter
-        (fun t -> ignore (Api.Run.step r t))
-        (List.rev s.sched_rev);
-      r
+    | None -> replay_prefix s
 
   let step s t =
     if not (List.mem t s.enabled) then
@@ -114,9 +152,7 @@ end) : Icb_search.Engine.S with type state = state = struct
   let step_footprint s tid =
     if not (List.mem tid s.enabled) then
       invalid_arg "Chess_engine.step_footprint: thread not enabled";
-    incr replay_count;
-    let r = Api.Run.create T.test in
-    List.iter (fun t -> ignore (Api.Run.step r t)) (List.rev s.sched_rev);
+    let r = replay_prefix s in
     let events, _ = Api.Run.step r tid in
     let pinned =
       Api.Run.yielded r tid

@@ -5,13 +5,27 @@
     place; stepping a state whose execution has moved on (because the
     search branched) transparently replays the prefix from the start —
     the Verisoft/CHESS architecture.  Coverage signatures are
-    happens-before signatures; every execution is race-checked. *)
+    happens-before signatures; every execution is race-checked.
+
+    Replays verify at every step that the test body takes the same
+    synchronization path it took when the schedule was recorded; a
+    divergence (a nondeterministic body — timing, [Random], I/O or state
+    leaking across executions) raises
+    {!Icb_search.Engine.Nondeterministic_program} with an actionable
+    message, which the search strategies contain as a dedicated
+    [nondeterministic-program] bug instead of aborting the run. *)
 
 type state
 
 module Make (_ : sig
   val test : unit -> unit
 end) : Icb_search.Engine.S with type state = state
+
+val engine :
+  (unit -> unit) ->
+  (module Icb_search.Engine.S with type state = state)
+(** First-class engine for a test body, ready to pass to the search
+    strategies (and to [Explore.run]'s checkpoint/resume machinery). *)
 
 val check :
   ?options:Icb_search.Collector.options ->

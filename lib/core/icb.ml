@@ -25,8 +25,15 @@ let engine ?(config = Icb_search.Mach_engine.default_config) prog =
   end) : Icb_search.Engine.S
     with type state = Icb_search.Mach_engine.state)
 
-let run ?config ?options ~strategy prog =
-  Icb_search.Explore.run (engine ?config prog) ?options strategy
+let run ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
+    ?resume_from ~strategy prog =
+  Icb_search.Explore.run (engine ?config prog) ?options ?checkpoint_out
+    ?checkpoint_every ?checkpoint_meta ?resume_from strategy
+
+let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
+    prog ckpt =
+  Icb_search.Explore.resume (engine ?config prog) ?options ?checkpoint_out
+    ?checkpoint_every ?checkpoint_meta ckpt
 
 let check ?config ?options ?(max_bound = 3) prog =
   Icb_search.Explore.check (engine ?config prog) ?options ~max_bound ()

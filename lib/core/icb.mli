@@ -42,9 +42,30 @@ val engine :
 val run :
   ?config:Icb_search.Mach_engine.config ->
   ?options:Icb_search.Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  ?resume_from:Icb_search.Checkpoint.t ->
   strategy:Icb_search.Explore.strategy ->
   prog ->
   result
+(** See {!Icb_search.Explore.run}: all limits (including the wall-clock
+    [deadline] in options) yield partial results rather than raising, and
+    [checkpoint_out]/[resume_from] make ICB and random-walk searches
+    interruptible and resumable. *)
+
+val resume :
+  ?config:Icb_search.Mach_engine.config ->
+  ?options:Icb_search.Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  prog ->
+  Icb_search.Checkpoint.t ->
+  result
+(** Continue a checkpointed search of [prog]; see
+    {!Icb_search.Explore.resume}.  The checkpoint must have been written
+    for the same program. *)
 
 val check :
   ?config:Icb_search.Mach_engine.config ->

@@ -143,6 +143,74 @@ let dryad =
 
 let all = [ bluetooth; filesystem; workstealing; transaction; ape; dryad ]
 
+(* --- CLI addressing ------------------------------------------------------ *)
+
+(* Bugs are addressed by the first token of their display name, which can
+   collide when two variants share it ("lost-update (reader)" /
+   "lost-update (writer)" would both shorten to "lost-update" and the
+   second would silently shadow the first in an assoc list).  Disambiguate
+   at build time: every name involved in a collision gets a 1-based index
+   suffix, so no addressable name is ever ambiguous. *)
+let disambiguate names =
+  let count name =
+    List.length (List.filter (String.equal name) names)
+  in
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun name ->
+      if count name <= 1 then name
+      else begin
+        let i = 1 + Option.value ~default:0 (Hashtbl.find_opt seen name) in
+        Hashtbl.replace seen name i;
+        Printf.sprintf "%s-%d" name i
+      end)
+    names
+
+let first_token s =
+  match String.index_opt s ' ' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let addressable () =
+  let of_entry (e : entry) =
+    let base = String.lowercase_ascii e.model_name in
+    let base = String.map (fun c -> if c = ' ' then '-' else c) base in
+    let correct =
+      match e.correct_program with
+      | Some p -> [ (base, p) ]
+      | None -> []
+    in
+    let shorts =
+      disambiguate
+        (List.map (fun (b : bug_spec) -> first_token b.bug_name) e.bugs)
+    in
+    let bugs =
+      List.map2
+        (fun short (b : bug_spec) -> (base ^ ":" ^ short, b.bug_program))
+        shorts e.bugs
+    in
+    (* a model with exactly one bug also answers to "<model>:bug" *)
+    let alias =
+      match e.bugs with
+      | [ b ] -> [ (base ^ ":bug", b.bug_program) ]
+      | _ -> []
+    in
+    correct @ bugs @ alias
+  in
+  List.concat_map of_entry all
+  @ (* Peterson is an extra model beyond the paper's suite (kept out of
+       [all] so the Table 1/2 reproductions stay faithful), but the CLI
+       should still reach it *)
+  List.map
+    (fun v ->
+      let name =
+        match v with
+        | Peterson.Correct -> "peterson"
+        | v -> "peterson:" ^ Peterson.variant_name v
+      in
+      (name, fun () -> Peterson.program v))
+    Peterson.variants
+
 let find name =
   List.find (fun e -> String.equal e.model_name name) all
 

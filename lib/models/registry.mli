@@ -30,6 +30,18 @@ val find : string -> entry
 
 val total_bugs : int
 
+val addressable : unit -> (string * (unit -> Icb_machine.Prog.t)) list
+(** Every program the CLI can address, with guaranteed-unique names:
+    ["<model>"] for a correct variant, ["<model>:<bug>"] for a bug (the
+    first token of its display name, index-suffixed when two variants
+    would collide), plus a ["<model>:bug"] alias when the model has
+    exactly one bug.  Includes the extra Peterson model. *)
+
+val disambiguate : string list -> string list
+(** Append a 1-based index to every name that occurs more than once, in
+    order of appearance; names already unique pass through unchanged.
+    Exposed for the address-collision tests. *)
+
 val loc_of_source : string -> int
 (** Non-blank, non-comment-only lines — the LOC counting used for
     Table 1. *)

@@ -1,0 +1,132 @@
+(* On-disk checkpoints for interruptible exploration.
+
+   A checkpoint is portable across processes but tied to one program: the
+   search frontier is stored as replayable schedule prefixes (plain int
+   lists), never as marshaled engine states — engine states hold
+   continuations (the CHESS engine) or large persistent structures, and
+   replaying a prefix through [Engine.S.step] rebuilds them exactly.
+
+   File layout:
+     bytes 0..7    magic "ICBCKPT\x01"
+     bytes 8..11   format version (big-endian int, output_binary_int)
+     bytes 12..27  MD5 digest of the payload
+     bytes 28..31  payload length
+     bytes 32..    payload (Marshal of [t])
+
+   Writes go to a temporary file in the same directory followed by an
+   atomic rename, so a killed writer can never leave a half-written file
+   under the checkpoint's name; the digest additionally rejects files
+   truncated or corrupted by other means with a clear error instead of a
+   crash or a silently wrong resume. *)
+
+type frontier =
+  | Icb_frontier of {
+      bound : int;           (* the context bound being drained *)
+      work : (int list * int) list;
+          (* (schedule prefix, tid to run next), current bound's queue *)
+      next : (int list * int) list;  (* deferred to bound + 1 *)
+      max_bound : int option;
+      cache : bool;
+      cache_keys : (int64 * int) list;
+          (* the state-caching table's keys, when [cache] *)
+    }
+  | Random_frontier of { seed : int64; rng_state : int64 }
+
+type t = {
+  strategy : string;
+  meta : (string * string) list;
+  collector : Collector.snapshot;
+  frontier : frontier;
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "ICBCKPT\x01"
+let version = 1
+
+let save ~path t =
+  let payload = Marshal.to_string t [] in
+  let digest = Digest.string payload in
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      (Filename.basename path) ".tmp"
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     output_binary_int oc version;
+     output_string oc digest;
+     output_binary_int oc (String.length payload);
+     output_string oc payload;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open checkpoint: %s" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let read_exactly n what =
+        try really_input_string ic n
+        with End_of_file ->
+          corrupt "checkpoint %s is truncated (while reading %s)" path what
+      in
+      let m = read_exactly (String.length magic) "the magic header" in
+      if m <> magic then
+        corrupt "%s is not an icb checkpoint (bad magic header)" path;
+      let v =
+        try input_binary_int ic
+        with End_of_file ->
+          corrupt "checkpoint %s is truncated (while reading the version)"
+            path
+      in
+      if v <> version then
+        corrupt
+          "checkpoint %s has format version %d but this build reads only \
+           version %d; re-run the original search"
+          path v version;
+      let digest = read_exactly 16 "the payload digest" in
+      let len =
+        try input_binary_int ic
+        with End_of_file ->
+          corrupt "checkpoint %s is truncated (while reading the length)"
+            path
+      in
+      if len < 0 then corrupt "checkpoint %s declares a negative length" path;
+      let payload = read_exactly len "the payload" in
+      if Digest.string payload <> digest then
+        corrupt
+          "checkpoint %s is corrupted (payload checksum mismatch); it was \
+           probably damaged after being written"
+          path;
+      match (Marshal.from_string payload 0 : t) with
+      | t -> t
+      | exception Failure msg ->
+        corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
+
+let meta_find t key = List.assoc_opt key t.meta
+
+let describe t =
+  let frontier =
+    match t.frontier with
+    | Icb_frontier { bound; work; next; max_bound; _ } ->
+      Printf.sprintf "icb at bound %d (%d work items, %d deferred%s)" bound
+        (List.length work) (List.length next)
+        (match max_bound with
+        | Some b -> Printf.sprintf ", max bound %d" b
+        | None -> "")
+    | Random_frontier _ -> "random walk"
+  in
+  Printf.sprintf "%s: %s%s" t.strategy frontier
+    (if Collector.snapshot_complete t.collector then " — already complete"
+     else "")

@@ -1,0 +1,56 @@
+(** On-disk checkpoints: everything needed to stop an exploration and
+    resume it in another process.
+
+    The search frontier is stored as replayable schedule prefixes rather
+    than marshaled engine states, so a checkpoint works for both the
+    stateful machine engine and the continuation-based CHESS engine — the
+    resuming strategy replays each prefix through [Engine.S.step].
+    Checkpoints are therefore tied to the program being tested: resuming
+    against a different (or nondeterministically changed) program is
+    detected when a prefix fails to replay.
+
+    Files carry a magic header, a format version and a payload digest;
+    writes are atomic (temp file + rename), so a killed writer never
+    leaves a corrupt file under the checkpoint's name, and any truncated
+    or damaged file is rejected with {!Corrupt} rather than a crash or a
+    silently wrong resume.  The format version is bumped on any
+    incompatible change; older versions are rejected, never guessed at. *)
+
+type frontier =
+  | Icb_frontier of {
+      bound : int;                    (** the context bound being drained *)
+      work : (int list * int) list;
+          (** (schedule prefix, tid to run next) — this bound's queue *)
+      next : (int list * int) list;   (** deferred to [bound + 1] *)
+      max_bound : int option;
+      cache : bool;
+      cache_keys : (int64 * int) list;
+    }
+  | Random_frontier of { seed : int64; rng_state : int64 }
+
+type t = {
+  strategy : string;                (** [Explore.strategy_name] at save time *)
+  meta : (string * string) list;
+      (** caller-owned provenance (the CLI stores how to rebuild the
+          program: model name or source path, granularity, bound) *)
+  collector : Collector.snapshot;
+  frontier : frontier;
+}
+
+exception Corrupt of string
+(** The file is not a checkpoint, is a future format version, is
+    truncated, or fails its checksum.  The message says which and names
+    the file. *)
+
+val save : path:string -> t -> unit
+(** Atomic write: marshal to a temp file in the same directory, then
+    rename over [path]. *)
+
+val load : string -> t
+(** Raises {!Corrupt} on anything that is not a complete, intact
+    checkpoint of the current format version. *)
+
+val meta_find : t -> string -> string option
+
+val describe : t -> string
+(** One human-readable line: strategy, bound, frontier sizes. *)

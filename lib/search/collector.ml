@@ -1,10 +1,20 @@
+type progress = {
+  p_executions : int;
+  p_states : int;
+  p_bugs : int;
+  p_elapsed : float;
+  p_bound : int option;
+}
+
 type options = {
   max_executions : int option;
   max_states : int option;
   max_total_steps : int option;
+  deadline : float option;
   deadlock_is_error : bool;
   stop_at_first_bug : bool;
   terminal_states_only : bool;
+  on_progress : (progress -> unit) option;
 }
 
 let default_options =
@@ -12,10 +22,14 @@ let default_options =
     max_executions = None;
     max_states = None;
     max_total_steps = None;
+    deadline = None;
     deadlock_is_error = true;
     stop_at_first_bug = false;
     terminal_states_only = false;
+    on_progress = None;
   }
+
+let deadline_in secs = Unix.gettimeofday () +. secs
 
 exception Stop
 
@@ -31,6 +45,9 @@ type t = {
   mutable max_preemptions : int;
   mutable max_threads : int;
   mutable complete : bool;
+  mutable stop_reason : Sresult.stop_reason option;
+  mutable current_bound : int option;
+  started : float;
   mutable growth : (int * int) list;          (* reversed *)
   mutable bound_coverage : (int * int) list;  (* reversed *)
 }
@@ -48,11 +65,25 @@ let create opts =
     max_preemptions = 0;
     max_threads = 0;
     complete = false;
+    stop_reason = None;
+    current_bound = None;
+    started = Unix.gettimeofday ();
     growth = [];
     bound_coverage = [];
   }
 
 let over limit n = match limit with Some l -> n >= l | None -> false
+
+let stop t reason =
+  t.stop_reason <- Some reason;
+  raise Stop
+
+(* A gettimeofday syscall per step would dominate tight search loops, so
+   the deadline is polled every 32 steps (and at every execution end). *)
+let check_deadline t =
+  match t.opts.deadline with
+  | Some d when Unix.gettimeofday () >= d -> stop t Sresult.Deadline_exceeded
+  | Some _ | None -> ()
 
 let touch t signature =
   t.total_steps <- t.total_steps + 1;
@@ -60,10 +91,16 @@ let touch t signature =
     (not t.opts.terminal_states_only)
     && not (Hashtbl.mem t.visited signature)
   then Hashtbl.add t.visited signature ();
-  if over t.opts.max_states (Hashtbl.length t.visited) then raise Stop;
-  if over t.opts.max_total_steps t.total_steps then raise Stop
+  if over t.opts.max_states (Hashtbl.length t.visited) then
+    stop t Sresult.State_limit;
+  if over t.opts.max_total_steps t.total_steps then stop t Sresult.Step_limit;
+  if t.total_steps land 31 = 0 then check_deadline t
 
 let seen_states t = Hashtbl.length t.visited
+
+let executions t = t.executions
+
+let note_bound t bound = t.current_bound <- Some bound
 
 type execution_end = {
   depth : int;
@@ -109,7 +146,7 @@ let end_execution t (e : execution_end) =
           execution = t.executions;
         };
       t.bug_order <- key :: t.bug_order;
-      if t.opts.stop_at_first_bug then raise Stop
+      if t.opts.stop_at_first_bug then stop t Sresult.First_bug
     end
   in
   (match e.status with
@@ -119,12 +156,89 @@ let end_execution t (e : execution_end) =
       (Format.asprintf "deadlock; blocked threads: %s"
          (String.concat ", " (List.map string_of_int blocked)))
   | Engine.Deadlock _ | Engine.Terminated | Engine.Running -> ());
-  if over t.opts.max_executions t.executions then raise Stop
+  (match t.opts.on_progress with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        p_executions = t.executions;
+        p_states = Hashtbl.length t.visited;
+        p_bugs = Hashtbl.length t.bugs;
+        p_elapsed = Unix.gettimeofday () -. t.started;
+        p_bound = t.current_bound;
+      });
+  if over t.opts.max_executions t.executions then
+    stop t Sresult.Execution_limit;
+  check_deadline t
 
 let record_bound t bound =
   t.bound_coverage <- (bound, Hashtbl.length t.visited) :: t.bound_coverage
 
 let set_complete t = t.complete <- true
+
+(* --- checkpointable snapshot ------------------------------------------- *)
+
+(* Everything the accumulator has learned, as plain marshal-safe data (no
+   closures, no hashtables with undefined iteration order at restore).
+   Options are deliberately NOT part of the snapshot: the resuming caller
+   supplies fresh limits. *)
+type snapshot = {
+  s_visited : int64 array;
+  s_bugs : Sresult.bug list;  (* discovery order *)
+  s_executions : int;
+  s_total_steps : int;
+  s_max_steps : int;
+  s_max_blocks : int;
+  s_max_preemptions : int;
+  s_max_threads : int;
+  s_complete : bool;
+  s_growth : (int * int) list;          (* reversed, newest first *)
+  s_bound_coverage : (int * int) list;  (* reversed, newest first *)
+}
+
+let snapshot t =
+  {
+    s_visited =
+      (let a = Array.make (Hashtbl.length t.visited) 0L in
+       let i = ref 0 in
+       Hashtbl.iter
+         (fun sig_ () ->
+           a.(!i) <- sig_;
+           incr i)
+         t.visited;
+       a);
+    s_bugs = List.rev_map (fun key -> Hashtbl.find t.bugs key) t.bug_order;
+    s_executions = t.executions;
+    s_total_steps = t.total_steps;
+    s_max_steps = t.max_steps;
+    s_max_blocks = t.max_blocks;
+    s_max_preemptions = t.max_preemptions;
+    s_max_threads = t.max_threads;
+    s_complete = t.complete;
+    s_growth = t.growth;
+    s_bound_coverage = t.bound_coverage;
+  }
+
+let restore opts s =
+  let t = create opts in
+  Array.iter (fun sig_ -> Hashtbl.replace t.visited sig_ ()) s.s_visited;
+  List.iter
+    (fun (b : Sresult.bug) ->
+      Hashtbl.replace t.bugs b.Sresult.key b;
+      t.bug_order <- b.Sresult.key :: t.bug_order)
+    s.s_bugs;
+  t.executions <- s.s_executions;
+  t.total_steps <- s.s_total_steps;
+  t.max_steps <- s.s_max_steps;
+  t.max_blocks <- s.s_max_blocks;
+  t.max_preemptions <- s.s_max_preemptions;
+  t.max_threads <- s.s_max_threads;
+  t.complete <- s.s_complete;
+  t.growth <- s.s_growth;
+  t.bound_coverage <- s.s_bound_coverage;
+  t
+
+let snapshot_complete s = s.s_complete
 
 let result t ~strategy =
   {
@@ -137,6 +251,7 @@ let result t ~strategy =
     max_preemptions = t.max_preemptions;
     max_threads = t.max_threads;
     complete = t.complete;
+    stop_reason = (if t.complete then None else t.stop_reason);
     growth = Array.of_list (List.rev t.growth);
     bound_coverage = Array.of_list (List.rev t.bound_coverage);
     total_steps = t.total_steps;

@@ -2,25 +2,46 @@
     accounting, execution counting, bug deduplication, growth curves and
     limit enforcement. *)
 
+(** A live snapshot of the search, handed to [on_progress] after every
+    completed execution; drive heartbeat displays from it. *)
+type progress = {
+  p_executions : int;
+  p_states : int;
+  p_bugs : int;
+  p_elapsed : float;   (** seconds since the collector was created *)
+  p_bound : int option;(** ICB's current context bound, when applicable *)
+}
+
 type options = {
   max_executions : int option;
   max_states : int option;
   max_total_steps : int option;
+  deadline : float option;
+      (** absolute wall-clock deadline ([Unix.gettimeofday] scale); when it
+          passes, the search stops with a partial result rather than
+          running unbounded — see {!deadline_in} *)
   deadlock_is_error : bool;
   stop_at_first_bug : bool;
   terminal_states_only : bool;
       (** count only the state at the end of each execution (the paper's
           Section 4.3 stateless-coverage convention for Figures 2, 5 and
           6) instead of every visited state *)
+  on_progress : (progress -> unit) option;
+      (** called after every completed execution; throttle on the caller's
+          side if the display is expensive *)
 }
 
 val default_options : options
 (** No limits, deadlocks are errors, keep searching after a bug. *)
 
+val deadline_in : float -> float
+(** [deadline_in secs] is the absolute deadline [secs] seconds from now,
+    ready to store in [options.deadline]. *)
+
 exception Stop
 (** Raised when a limit fires or [stop_at_first_bug] triggers; strategies
     let it propagate to their driver, which converts it into a
-    [complete = false] result. *)
+    [complete = false] result carrying the {!Sresult.stop_reason}. *)
 
 type t
 
@@ -28,9 +49,14 @@ val create : options -> t
 
 val touch : t -> int64 -> unit
 (** Record a reached state by signature.  Raises {!Stop} when the state or
-    step limit is hit. *)
+    step limit is hit, or (polled every 32 steps) the deadline passed. *)
 
 val seen_states : t -> int
+
+val executions : t -> int
+
+val note_bound : t -> int -> unit
+(** ICB: the bound now being explored, surfaced in {!progress}. *)
 
 (** End-of-execution record: engine measurements of the finished (or
     truncated) execution. *)
@@ -50,5 +76,22 @@ val record_bound : t -> int -> unit
 (** ICB: snapshot coverage after completing the given context bound. *)
 
 val set_complete : t -> unit
+
+(** {2 Checkpointable state}
+
+    Everything the accumulator has learned, as plain marshal-safe data.
+    Options (limits, callbacks) are not part of a snapshot: the resuming
+    caller supplies fresh ones. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : options -> snapshot -> t
+(** A collector that continues exactly where the snapshotted one stopped:
+    same visited set, bug list, counters and curves. *)
+
+val snapshot_complete : snapshot -> bool
+(** The snapshotted search had already exhausted its space. *)
 
 val result : t -> strategy:string -> Sresult.t

@@ -17,6 +17,14 @@ let is_terminal = function
   | Running -> false
   | Terminated | Deadlock _ | Failed _ -> true
 
+exception Nondeterministic_program of string
+(** Raised by stateless (replay-based) engines when re-executing a
+    recorded schedule observes a different sequence of synchronization
+    operations than the recording — the test body is nondeterministic
+    (timing, [Random], I/O or ambient-state leakage).  The search
+    strategies contain it as a dedicated, actionable diagnostic instead of
+    letting a confusing [Invalid_argument] abort the whole run. *)
+
 (** The variables a single step would touch, for independence checks in
     partial-order reduction.  Two steps commute when their footprints are
     disjoint and neither spawns a thread. *)

@@ -32,10 +32,79 @@ let finish (type s) (module E : Engine.S with type state = s) col (st : s)
       status;
     }
 
+(* --- crash containment -------------------------------------------------- *)
+
+(* An exception escaping an engine step (including Stack_overflow and
+   Out_of_memory when the runtime lets us catch them) must not abort the
+   whole search: the schedule prefix that provoked it is a perfectly
+   replayable bug report.  [Engine.Nondeterministic_program] gets its own
+   key and an actionable message; everything else is keyed by the
+   exception's constructor so repeated crashes deduplicate. *)
+let record_crash (type s) (module E : Engine.S with type state = s) col
+    (st : s) tid exn =
+  let key, msg =
+    match exn with
+    | Engine.Nondeterministic_program detail ->
+      ( "nondeterministic-program",
+        Printf.sprintf
+          "the test body is nondeterministic: %s; make the body \
+           deterministic (no timing, Random or I/O dependence, no state \
+           leaking across executions) so schedules replay faithfully"
+          detail )
+    | exn ->
+      ( "engine-crash:" ^ Printexc.exn_slot_name exn,
+        Printf.sprintf
+          "exception escaped the engine step (thread %d at depth %d): %s"
+          tid (E.depth st) (Printexc.to_string exn) )
+  in
+  Collector.end_execution col
+    {
+      Collector.depth = E.depth st + 1;
+      blocks = E.blocking_ops st;
+      preemptions = E.preemptions st;
+      threads = E.thread_count st;
+      schedule = E.schedule st @ [ tid ];
+      signature = E.signature st;
+      status = Engine.Failed { key; msg };
+    }
+
+(* Step the engine, containing crashes: [None] means the step blew up and
+   was recorded as a bug — the strategy simply abandons that branch. *)
+let step_guarded (type s) (module E : Engine.S with type state = s) col
+    (st : s) tid =
+  match E.step st tid with
+  | st' -> Some st'
+  | exception Collector.Stop -> raise Collector.Stop
+  | exception exn ->
+    record_crash (module E) col st tid exn;
+    None
+
+(* --- checkpointing ------------------------------------------------------ *)
+
+type ckpt_ctl = {
+  ck_path : string;
+  ck_every : int;               (* executions between periodic saves *)
+  ck_meta : (string * string) list;
+  mutable ck_last : int;        (* executions at the last save *)
+}
+
+let save_checkpoint col ctl ~strategy ~frontier =
+  Checkpoint.save ~path:ctl.ck_path
+    {
+      Checkpoint.strategy;
+      meta = ctl.ck_meta;
+      collector = Collector.snapshot col;
+      frontier;
+    };
+  ctl.ck_last <- Collector.executions col
+
 (* --- Algorithm 1: iterative context bounding -------------------------- *)
 
 let run_icb (type s) (module E : Engine.S with type state = s) col ~max_bound
-    ~cache =
+    ~cache ~ckpt ~resume =
+  let strategy =
+    strategy_name (Icb { max_bound; cache })
+  in
   let work : (s * int) Queue.t = Queue.create () in
   let next : (s * int) Queue.t = Queue.create () in
   (* the paper's optional state-caching table, keyed on the work item *)
@@ -48,50 +117,125 @@ let run_icb (type s) (module E : Engine.S with type state = s) col ~max_bound
   in
   let rec search (st, tid) =
     if not (seen st tid) then begin
-      let st' = E.step st tid in
-      Collector.touch col (E.signature st');
-      match E.status st' with
-      | Engine.Running ->
-        let en = E.enabled st' in
-        if List.mem tid en then begin
-          (* running thread still enabled: continue it without a context
-             switch; scheduling anyone else here costs a preemption, so
-             defer those work items to the next bound *)
-          search (st', tid);
-          List.iter (fun t -> if t <> tid then Queue.add (st', t) next) en
-        end
-        else
-          (* the running thread blocked or finished: switching is free *)
-          List.iter (fun t -> search (st', t)) en
-      | status -> finish (module E) col st' status
+      match step_guarded (module E) col st tid with
+      | None -> ()
+      | Some st' -> (
+        Collector.touch col (E.signature st');
+        match E.status st' with
+        | Engine.Running ->
+          let en = E.enabled st' in
+          if List.mem tid en then begin
+            (* running thread still enabled: continue it without a context
+               switch; scheduling anyone else here costs a preemption, so
+               defer those work items to the next bound *)
+            search (st', tid);
+            List.iter (fun t -> if t <> tid then Queue.add (st', t) next) en
+          end
+          else
+            (* the running thread blocked or finished: switching is free *)
+            List.iter (fun t -> search (st', t)) en
+        | status -> finish (module E) col st' status)
     end
   in
-  let s0 = E.initial () in
-  Collector.touch col (E.signature s0);
-  (match E.status s0 with
-  | Engine.Running -> List.iter (fun t -> Queue.add (s0, t) work) (E.enabled s0)
-  | status -> finish (module E) col s0 status);
   let bound = ref 0 in
-  let continue = ref true in
-  while !continue do
-    while not (Queue.is_empty work) do
-      search (Queue.pop work)
-    done;
-    Collector.record_bound col !bound;
-    if Queue.is_empty next then begin
-      Collector.set_complete col;
-      continue := false
-    end
-    else begin
-      match max_bound with
-      | Some b when !bound >= b ->
-        (* every execution with <= b preemptions has been explored *)
+  (* Serialize the frontier as replayable schedule prefixes; [extra] holds
+     the work item being searched when a limit fired, re-queued so resume
+     loses nothing (it may re-complete a few executions — bug and state
+     deduplication make that harmless). *)
+  let frontier ?(extra = []) () =
+    let items q =
+      List.rev (Queue.fold (fun acc (st, t) -> (E.schedule st, t) :: acc) [] q)
+    in
+    Checkpoint.Icb_frontier
+      {
+        bound = !bound;
+        work = List.map (fun (st, t) -> (E.schedule st, t)) extra @ items work;
+        next = items next;
+        max_bound;
+        cache;
+        cache_keys =
+          (if cache then Hashtbl.fold (fun k () acc -> k :: acc) table []
+           else []);
+      }
+  in
+  let save ?extra () =
+    match ckpt with
+    | None -> ()
+    | Some ctl -> save_checkpoint col ctl ~strategy ~frontier:(frontier ?extra ())
+  in
+  let periodic () =
+    match ckpt with
+    | None -> ()
+    | Some ctl ->
+      if Collector.executions col - ctl.ck_last >= ctl.ck_every then
+        save_checkpoint col ctl ~strategy ~frontier:(frontier ())
+  in
+  let replay_item (sched, tid) =
+    let st =
+      try List.fold_left E.step (E.initial ()) sched
+      with exn ->
+        invalid_arg
+          (Printf.sprintf
+             "Explore.resume: a checkpointed schedule no longer replays \
+              (%s); the checkpoint belongs to a different or \
+              nondeterministic program"
+             (Printexc.to_string exn))
+    in
+    (st, tid)
+  in
+  (match resume with
+  | Some
+      (Checkpoint.Icb_frontier
+         { bound = b; work = w; next = n; cache_keys; _ }) ->
+    bound := b;
+    List.iter (fun it -> Queue.add (replay_item it) work) w;
+    List.iter (fun it -> Queue.add (replay_item it) next) n;
+    if cache then List.iter (fun k -> Hashtbl.replace table k ()) cache_keys
+  | Some (Checkpoint.Random_frontier _) ->
+    invalid_arg "Explore.resume: checkpoint was written by a random walk"
+  | None -> (
+    let s0 = E.initial () in
+    Collector.touch col (E.signature s0);
+    match E.status s0 with
+    | Engine.Running ->
+      List.iter (fun t -> Queue.add (s0, t) work) (E.enabled s0)
+    | status -> finish (module E) col s0 status));
+  Collector.note_bound col !bound;
+  if Queue.is_empty work && Queue.is_empty next then
+    (* either a trivial program or a resumed checkpoint of a finished
+       search: the space is exhausted *)
+    Collector.set_complete col
+  else begin
+    let continue = ref true in
+    while !continue do
+      while not (Queue.is_empty work) do
+        let item = Queue.pop work in
+        (try search item
+         with Collector.Stop ->
+           save ~extra:[ item ] ();
+           raise Collector.Stop);
+        periodic ()
+      done;
+      Collector.record_bound col !bound;
+      if Queue.is_empty next then begin
+        Collector.set_complete col;
         continue := false
-      | Some _ | None ->
-        incr bound;
-        Queue.transfer next work
-    end
-  done
+      end
+      else begin
+        match max_bound with
+        | Some b when !bound >= b ->
+          (* every execution with <= b preemptions has been explored *)
+          continue := false
+        | Some _ | None ->
+          incr bound;
+          Collector.note_bound col !bound;
+          Queue.transfer next work
+      end
+    done;
+    (* final save: lets a later resume pick up where a max_bound run left
+       off, and records completion *)
+    save ()
+  end
 
 (* --- depth-first search ----------------------------------------------- *)
 
@@ -114,9 +258,11 @@ let run_dfs (type s) (module E : Engine.S with type state = s) col ~bound
       else
         List.iter
           (fun t ->
-            let st' = E.step st t in
-            Collector.touch col (E.signature st');
-            if not (seen st') then dfs st')
+            match step_guarded (module E) col st t with
+            | None -> ()
+            | Some st' ->
+              Collector.touch col (E.signature st');
+              if not (seen st') then dfs st')
           (E.enabled st)
     | status -> finish (module E) col st status
   in
@@ -144,16 +290,21 @@ let run_sleep_dfs (type s) (module E : Engine.S with type state = s) col =
       List.iter
         (fun t ->
           if not (List.mem_assoc t sleep) then begin
-            let fp = E.step_footprint st t in
-            let st' = E.step st t in
-            Collector.touch col (E.signature st');
-            let sleep' =
-              List.filter
-                (fun (_, fp_u) -> Engine.Footprint.independent fp fp_u)
-                (sleep @ !explored)
-            in
-            dfs st' sleep';
-            explored := (t, fp) :: !explored
+            match E.step_footprint st t with
+            | exception Collector.Stop -> raise Collector.Stop
+            | exception exn -> record_crash (module E) col st t exn
+            | fp -> (
+              match step_guarded (module E) col st t with
+              | None -> ()
+              | Some st' ->
+                Collector.touch col (E.signature st');
+                let sleep' =
+                  List.filter
+                    (fun (_, fp_u) -> Engine.Footprint.independent fp fp_u)
+                    (sleep @ !explored)
+                in
+                dfs st' sleep';
+                explored := (t, fp) :: !explored)
           end)
         (E.enabled st)
     | status -> finish (module E) col st status
@@ -197,7 +348,7 @@ let run_pct (type s) (module E : Engine.S with type state = s) col
     let steps = ref 0 in
     let rec walk () =
       match E.status !st with
-      | Engine.Running ->
+      | Engine.Running -> (
         let en = E.enabled !st in
         let t =
           List.fold_left
@@ -213,9 +364,12 @@ let run_pct (type s) (module E : Engine.S with type state = s) col
           (fun (low, at) ->
             if at = !steps then Hashtbl.replace priorities t low)
           change_steps;
-        st := E.step !st t;
-        Collector.touch col (E.signature !st);
-        walk ()
+        match step_guarded (module E) col !st t with
+        | None -> ()  (* crash recorded; this execution is over *)
+        | Some st' ->
+          st := st';
+          Collector.touch col (E.signature !st);
+          walk ())
       | status -> finish (module E) col !st status
     in
     walk ();
@@ -275,9 +429,11 @@ let run_most_enabled (type s) (module E : Engine.S with type state = s) col
       | Engine.Running ->
         List.iter
           (fun t ->
-            let st' = E.step st t in
-            Collector.touch col (E.signature st');
-            if not (seen st') then push st')
+            match step_guarded (module E) col st t with
+            | None -> ()
+            | Some st' ->
+              Collector.touch col (E.signature st');
+              if not (seen st') then push st')
           (E.enabled st)
       | status -> finish (module E) col st status);
       loop ()
@@ -286,48 +442,109 @@ let run_most_enabled (type s) (module E : Engine.S with type state = s) col
 
 (* --- random walk ------------------------------------------------------- *)
 
-let run_random (type s) (module E : Engine.S with type state = s) col ~seed =
-  let rng = Icb_util.Rng.create seed in
+let run_random (type s) (module E : Engine.S with type state = s) col ~seed
+    ~ckpt ~resume =
+  let rng =
+    match resume with
+    | Some (Checkpoint.Random_frontier { rng_state; _ }) ->
+      Icb_util.Rng.of_state rng_state
+    | Some (Checkpoint.Icb_frontier _) ->
+      invalid_arg "Explore.resume: checkpoint was written by an ICB search"
+    | None -> Icb_util.Rng.create seed
+  in
+  let strategy = strategy_name (Random_walk { seed }) in
+  let frontier () =
+    Checkpoint.Random_frontier { seed; rng_state = Icb_util.Rng.state rng }
+  in
+  let save () =
+    match ckpt with
+    | None -> ()
+    | Some ctl -> save_checkpoint col ctl ~strategy ~frontier:(frontier ())
+  in
   (* without an execution or step limit a random walk never stops; the
      caller's options must bound it, but guard against looping forever on a
      misconfiguration by capping at a large default *)
   let hard_cap = 1_000_000 in
-  let n = ref 0 in
-  while !n < hard_cap do
-    incr n;
-    let st = ref (E.initial ()) in
-    Collector.touch col (E.signature !st);
-    let rec walk () =
-      match E.status !st with
-      | Engine.Running ->
-        let t = Icb_util.Rng.pick rng (E.enabled !st) in
-        st := E.step !st t;
-        Collector.touch col (E.signature !st);
-        walk ()
-      | status -> finish (module E) col !st status
-    in
-    walk ()
-  done
+  (try
+     while Collector.executions col < hard_cap do
+       let st = ref (E.initial ()) in
+       Collector.touch col (E.signature !st);
+       let rec walk () =
+         match E.status !st with
+         | Engine.Running -> (
+           let t = Icb_util.Rng.pick rng (E.enabled !st) in
+           match step_guarded (module E) col !st t with
+           | None -> ()
+           | Some st' ->
+             st := st';
+             Collector.touch col (E.signature !st);
+             walk ())
+         | status -> finish (module E) col !st status
+       in
+       walk ();
+       (match ckpt with
+       | None -> ()
+       | Some ctl ->
+         if Collector.executions col - ctl.ck_last >= ctl.ck_every then
+           save_checkpoint col ctl ~strategy ~frontier:(frontier ()))
+     done
+   with Collector.Stop ->
+     save ();
+     raise Collector.Stop);
+  save ()
 
 (* --- driver ------------------------------------------------------------ *)
 
+let default_checkpoint_every = 500
+
 let run (type s) (module E : Engine.S with type state = s)
-    ?(options = Collector.default_options) strategy =
-  let col = Collector.create options in
+    ?(options = Collector.default_options) ?checkpoint_out
+    ?(checkpoint_every = default_checkpoint_every)
+    ?(checkpoint_meta = []) ?resume_from strategy =
+  let col =
+    match resume_from with
+    | None -> Collector.create options
+    | Some (c : Checkpoint.t) -> Collector.restore options c.collector
+  in
+  let ckpt =
+    Option.map
+      (fun path ->
+        {
+          ck_path = path;
+          ck_every = max 1 checkpoint_every;
+          ck_meta = checkpoint_meta;
+          ck_last = Collector.executions col;
+        })
+      checkpoint_out
+  in
+  let resume = Option.map (fun (c : Checkpoint.t) -> c.frontier) resume_from in
+  let reject_checkpointing () =
+    if ckpt <> None || resume <> None then
+      invalid_arg
+        (Printf.sprintf
+           "Explore.run: strategy %s does not support checkpoint/resume \
+            (supported: icb, random)"
+           (strategy_name strategy))
+  in
   (try
      match strategy with
-     | Icb { max_bound; cache } -> run_icb (module E) col ~max_bound ~cache
+     | Icb { max_bound; cache } ->
+       run_icb (module E) col ~max_bound ~cache ~ckpt ~resume
+     | Random_walk { seed } -> run_random (module E) col ~seed ~ckpt ~resume
      | Dfs { cache } ->
+       reject_checkpointing ();
        let table = Hashtbl.create 4096 in
        let truncated = run_dfs (module E) col ~bound:None ~cache ~table in
        if truncated = 0 then Collector.set_complete col
      | Bounded_dfs { depth; cache } ->
+       reject_checkpointing ();
        let table = Hashtbl.create 4096 in
        let truncated =
          run_dfs (module E) col ~bound:(Some depth) ~cache ~table
        in
        if truncated = 0 then Collector.set_complete col
      | Iterative_dfs { start; incr = inc; max_depth; cache } ->
+       reject_checkpointing ();
        let d = ref start in
        let stop = ref false in
        while (not !stop) && !d <= max_depth do
@@ -343,15 +560,34 @@ let run (type s) (module E : Engine.S with type state = s)
          end
          else d := !d + inc
        done
-     | Random_walk { seed } -> run_random (module E) col ~seed
      | Sleep_dfs ->
+       reject_checkpointing ();
        run_sleep_dfs (module E) col;
        Collector.set_complete col
      | Pct { change_points; seed } ->
+       reject_checkpointing ();
        run_pct (module E) col ~change_points ~seed
-     | Most_enabled { cache } -> run_most_enabled (module E) col ~cache
+     | Most_enabled { cache } ->
+       reject_checkpointing ();
+       run_most_enabled (module E) col ~cache
    with Collector.Stop -> ());
   Collector.result col ~strategy:(strategy_name strategy)
+
+let strategy_of_checkpoint (c : Checkpoint.t) =
+  match c.frontier with
+  | Checkpoint.Icb_frontier { max_bound; cache; _ } -> Icb { max_bound; cache }
+  | Checkpoint.Random_frontier { seed; _ } -> Random_walk { seed }
+
+let resume (type s) (module E : Engine.S with type state = s) ?options
+    ?checkpoint_out ?checkpoint_every ?checkpoint_meta (c : Checkpoint.t) =
+  let checkpoint_meta =
+    match checkpoint_meta with Some m -> m | None -> c.meta
+  in
+  run
+    (module E)
+    ?options ?checkpoint_out ?checkpoint_every ~checkpoint_meta
+    ~resume_from:c
+    (strategy_of_checkpoint c)
 
 let check (type s) (module E : Engine.S with type state = s)
     ?(options = Collector.default_options) ?max_bound () =

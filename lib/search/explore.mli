@@ -2,7 +2,27 @@
 
     {!Icb} is the paper's Algorithm 1; the others are the baselines its
     evaluation compares against (unbounded depth-first search,
-    depth-bounded DFS, iterative depth-bounding, uniform random walk). *)
+    depth-bounded DFS, iterative depth-bounding, uniform random walk).
+
+    {2 Resilience}
+
+    Every strategy degrades gracefully: any limit in
+    {!Collector.options} — including the wall-clock [deadline] — stops the
+    search with a partial result ([complete = false] and a
+    {!Sresult.stop_reason}) instead of raising.  An exception escaping an
+    engine step (including [Stack_overflow], [Out_of_memory] and
+    {!Engine.Nondeterministic_program}) is contained as a replayable
+    {!Sresult.bug} carrying the provoking schedule prefix; the search
+    continues on the remaining branches.
+
+    The {!Icb} and {!Random_walk} strategies additionally support
+    checkpoint/resume: pass [?checkpoint_out] to {!run} and the frontier
+    (work queues as replayable schedule prefixes, context bound, RNG
+    state) plus all coverage counters are written atomically every
+    [?checkpoint_every] executions and whenever a limit stops the search;
+    {!resume} continues from a loaded {!Checkpoint.t}, reaching the same
+    bug set an uninterrupted run would.  Requesting checkpointing for any
+    other strategy raises [Invalid_argument]. *)
 
 type strategy =
   | Icb of { max_bound : int option; cache : bool }
@@ -29,14 +49,47 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+val default_checkpoint_every : int
+
 val run :
   (module Engine.S with type state = 's) ->
   ?options:Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  ?resume_from:Checkpoint.t ->
   strategy ->
   Sresult.t
 (** Explore the engine's transition system with the given strategy.
     Never raises on limit exhaustion — limits simply yield a result with
-    [complete = false]. *)
+    [complete = false] and a [stop_reason].
+
+    [checkpoint_out] (ICB and random walk only) writes a checkpoint to
+    that path every [checkpoint_every] (default
+    {!default_checkpoint_every}) executions, when any limit stops the
+    search, and at the end of the run; [checkpoint_meta] is stored
+    verbatim for the caller (the CLI records program provenance there).
+    [resume_from] restores the collector and frontier of a loaded
+    checkpoint; the given strategy must be the checkpoint's own (use
+    {!resume} to derive it).  Raises [Invalid_argument] if the strategy
+    does not match or does not support checkpointing, or if the
+    checkpointed frontier no longer replays on this engine (wrong or
+    nondeterministic program). *)
+
+val resume :
+  (module Engine.S with type state = 's) ->
+  ?options:Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  Checkpoint.t ->
+  Sresult.t
+(** Continue a checkpointed search: derives the strategy from the
+    checkpoint and calls {!run} with [resume_from].  When
+    [checkpoint_meta] is omitted the checkpoint's own metadata is carried
+    forward. *)
+
+val strategy_of_checkpoint : Checkpoint.t -> strategy
 
 val check :
   (module Engine.S with type state = 's) ->
@@ -52,4 +105,6 @@ val replay :
   (module Engine.S with type state = 's) -> int list -> 's
 (** Run a recorded schedule from the initial state; used to reproduce a
     bug trace.  Raises [Invalid_argument] if the schedule names a thread
-    that is not enabled at some point. *)
+    that is not enabled at some point, and lets
+    {!Engine.Nondeterministic_program} propagate when a stateless engine
+    detects that the program diverged from the recording. *)

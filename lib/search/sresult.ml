@@ -8,6 +8,20 @@ type bug = {
   execution : int;
 }
 
+type stop_reason =
+  | Deadline_exceeded
+  | State_limit
+  | Step_limit
+  | Execution_limit
+  | First_bug
+
+let stop_reason_string = function
+  | Deadline_exceeded -> "wall-clock deadline exceeded"
+  | State_limit -> "state limit reached"
+  | Step_limit -> "step limit reached"
+  | Execution_limit -> "execution limit reached"
+  | First_bug -> "stopped at first bug"
+
 type t = {
   strategy : string;
   executions : int;
@@ -18,6 +32,7 @@ type t = {
   max_preemptions : int;
   max_threads : int;
   complete : bool;
+  stop_reason : stop_reason option;
   growth : (int * int) array;
   bound_coverage : (int * int) array;
   total_steps : int;
@@ -27,5 +42,9 @@ let pp_summary fmt t =
   Format.fprintf fmt
     "@[<v>%s: %d executions, %d states, %d bugs%s@ K=%d B=%d c=%d threads=%d@]"
     t.strategy t.executions t.distinct_states (List.length t.bugs)
-    (if t.complete then " (complete)" else "")
+    (if t.complete then " (complete)"
+     else
+       match t.stop_reason with
+       | Some r -> Printf.sprintf " (%s)" (stop_reason_string r)
+       | None -> "")
     t.max_steps t.max_blocks t.max_preemptions t.max_threads

@@ -11,6 +11,17 @@ type bug = {
   execution : int;       (** index of the execution that exposed it *)
 }
 
+(** Why an incomplete search stopped early; [None] on a result that simply
+    reached its strategy's natural end (or its configured [max_bound]). *)
+type stop_reason =
+  | Deadline_exceeded    (** [Collector.options.deadline] passed *)
+  | State_limit
+  | Step_limit
+  | Execution_limit
+  | First_bug            (** [stop_at_first_bug] fired *)
+
+val stop_reason_string : stop_reason -> string
+
 type t = {
   strategy : string;
   executions : int;           (** completed (or truncated) executions *)
@@ -21,6 +32,8 @@ type t = {
   max_preemptions : int;      (** paper's c: max preemptions in one execution *)
   max_threads : int;
   complete : bool;            (** the strategy exhausted its search space *)
+  stop_reason : stop_reason option;
+      (** why the search stopped before exhausting its space *)
   growth : (int * int) array; (** (executions so far, distinct states) after each execution *)
   bound_coverage : (int * int) array;
       (** ICB only: (context bound, distinct states) after completing each bound *)
