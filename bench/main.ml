@@ -623,6 +623,99 @@ let ablation_find () =
   in
   print_table header_row rows
 
+(* ------------------------------------------------------------------------- *)
+(* Parallel ICB: serial-equivalence and speedup harness                        *)
+(* ------------------------------------------------------------------------- *)
+
+(* set by --jobs on the command line *)
+let parallel_jobs = ref 4
+
+(* Runs the buggy work-stealing queue to preemption bound 3 serially, on 1
+   domain and on [--jobs] domains, then asserts that all three report the
+   same bug set, per-bound cumulative execution counts and totals (the
+   determinism contract of Icb.run_parallel), and — when the machine
+   actually has at least 4 cores — that the domain pool explores at least
+   2x executions/second.  Exits non-zero if any assertion fails. *)
+let parallel_bench () =
+  let jobs = max 1 !parallel_jobs in
+  section
+    (Printf.sprintf "Parallel ICB: 1 vs %d domains on the work-stealing queue"
+       jobs);
+  let entry = Registry.find "Work Stealing Queue" in
+  let bug_spec = List.hd entry.bugs in
+  let max_bound = 3 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, t_serial =
+    time (fun () ->
+        Icb.run
+          ~strategy:(Explore.Icb { max_bound = Some max_bound; cache = false })
+          (bug_spec.bug_program ()))
+  in
+  let one, t_one =
+    time (fun () ->
+        Icb.run_parallel ~max_bound ~domains:1 (bug_spec.bug_program ()))
+  in
+  let par, t_par =
+    time (fun () ->
+        Icb.run_parallel ~max_bound ~domains:jobs (bug_spec.bug_program ()))
+  in
+  let rate (r : Sresult.t) t = float_of_int r.executions /. max t 1e-9 in
+  let keys (r : Sresult.t) =
+    List.sort compare (List.map (fun (b : Sresult.bug) -> b.Sresult.key) r.bugs)
+  in
+  let bexec (r : Sresult.t) = Array.to_list r.bound_executions in
+  print_table
+    [ "Run"; "Executions"; "States"; "Bugs"; "Seconds"; "Execs/sec" ]
+    (List.map
+       (fun (name, (r : Sresult.t), t) ->
+         [
+           name;
+           string_of_int r.executions;
+           string_of_int r.distinct_states;
+           string_of_int (List.length r.bugs);
+           Printf.sprintf "%.2f" t;
+           Printf.sprintf "%.0f" (rate r t);
+         ])
+       [
+         ("serial", serial, t_serial);
+         ("1 domain", one, t_one);
+         (Printf.sprintf "%d domains" jobs, par, t_par);
+       ]);
+  let failed = ref false in
+  let check what ok =
+    if not ok then begin
+      failed := true;
+      Printf.printf "FAILED: %s\n" what
+    end
+  in
+  check "bug sets identical (serial, 1 domain, N domains)"
+    (keys serial = keys one && keys one = keys par);
+  check "per-bound cumulative execution counts identical"
+    (bexec serial = bexec one && bexec one = bexec par);
+  check "execution and state totals identical"
+    (serial.executions = one.executions
+    && one.executions = par.executions
+    && serial.distinct_states = one.distinct_states
+    && one.distinct_states = par.distinct_states);
+  let speedup = rate par t_par /. rate one t_one in
+  Printf.printf "\nspeedup (%d domains vs 1): %.2fx\n" jobs speedup;
+  let cores = Domain.recommended_domain_count () in
+  if jobs >= 4 && cores >= 4 then
+    check
+      (Printf.sprintf "parallel throughput >= 2x (%d domains, %d cores)" jobs
+         cores)
+      (speedup >= 2.0)
+  else
+    Printf.printf
+      "speedup assertion skipped: %d core(s) available (needs >= 4 cores and \
+       --jobs >= 4)\n"
+      cores;
+  if !failed then exit 1 else print_endline "parallel equivalence: OK"
+
 let experiments =
   [
     ("table1", table1);
@@ -640,13 +733,37 @@ let experiments =
     ("ablation-cache", ablation_cache);
     ("ablation-find", ablation_find);
     ("timings", timings);
+    ("parallel", parallel_bench);
   ]
 
 let () =
+  (* pull --jobs N (or --jobs=N) out of argv; the rest are experiment
+     names *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        parallel_jobs := n;
+        parse_args acc rest
+      | _ ->
+        Printf.eprintf "bad --jobs value %S\n" n;
+        exit 2)
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some n when n >= 1 ->
+        parallel_jobs := n;
+        parse_args acc rest
+      | _ ->
+        Printf.eprintf "bad %s\n" arg;
+        exit 2)
+    | name :: rest -> parse_args (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

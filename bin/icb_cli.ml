@@ -3,9 +3,13 @@
    icb check FILE            -- iterative context bounding, stop at first bug
    icb resume CHECKPOINT     -- continue an interrupted check
    icb explore FILE          -- run a strategy, print statistics
+   icb bench [MODEL]         -- serial vs parallel ICB, assert equivalence
    icb compile FILE          -- type-check and dump the compiled program
    icb models                -- list bundled benchmark models
-   icb check-model NAME      -- check a bundled model (e.g. "bluetooth:bug") *)
+   icb check-model NAME      -- check a bundled model (e.g. "bluetooth:bug")
+
+   check, check-model, resume and explore take --jobs N to shard the ICB
+   search across N OCaml domains (docs/PARALLEL.md). *)
 
 open Cmdliner
 
@@ -65,6 +69,16 @@ let checkpoint_every_arg =
     value
     & opt int Icb_search.Explore.default_checkpoint_every
     & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the search (default 1 = serial).  With $(docv) > \
+     1 each context bound's work queue is sharded across $(docv) OCaml \
+     domains with work stealing; the result (bug set, per-bound execution \
+     counts) is deterministic and identical to a serial run.  See \
+     docs/PARALLEL.md."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let progress_arg =
   let doc =
@@ -135,8 +149,12 @@ let validate_checkpoint_path = function
    first bug, with optional deadline and checkpointing.  Exit codes:
    0 no bug, 1 bug found, 2 usage error, 3 interrupted (partial result). *)
 let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
-    ~resume_from () =
+    ~resume_from ~jobs () =
   validate_checkpoint_path checkpoint;
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be at least 1@.";
+    exit 2
+  end;
   let config = config_of_granularity gran in
   let options =
     { options with Icb_search.Collector.stop_at_first_bug = true }
@@ -145,7 +163,11 @@ let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
     match resume_from with
     | Some ckpt ->
       Icb.resume ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-        ~checkpoint_meta:meta prog ckpt
+        ~checkpoint_meta:meta ~domains:jobs prog ckpt
+    | None when jobs > 1 ->
+      Icb.run_parallel ~config ~options ?checkpoint_out:checkpoint
+        ~checkpoint_every ~checkpoint_meta:meta ~max_bound:bound ~cache:false
+        ~domains:jobs prog
     | None ->
       Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
         ~checkpoint_meta:meta
@@ -174,7 +196,7 @@ let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
       exit 3)
 
 let check_run path bound no_deadlock gran timeout checkpoint checkpoint_every
-    progress =
+    jobs progress =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -191,7 +213,7 @@ let check_run path bound no_deadlock gran timeout checkpoint checkpoint_every
     in
     run_check ~prog ~meta ~bound
       ~options:(options_of ~no_deadlock ~timeout ~progress)
-      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ()
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
 
 let check_cmd =
   let path =
@@ -216,12 +238,13 @@ let check_cmd =
     (Cmd.info "check" ~doc ~man)
     Term.(
       const check_run $ path $ bound_arg $ no_deadlock_arg $ granularity_arg
-      $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg $ progress_arg)
+      $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg $ jobs_arg
+      $ progress_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
 let check_model_run name bound no_deadlock gran timeout checkpoint
-    checkpoint_every progress =
+    checkpoint_every jobs progress =
   match resolve_model name with
   | Error msg ->
     Format.eprintf "%s@." msg;
@@ -238,7 +261,7 @@ let check_model_run name bound no_deadlock gran timeout checkpoint
     in
     run_check ~prog ~meta ~bound
       ~options:(options_of ~no_deadlock ~timeout ~progress)
-      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ()
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
 
 let check_model_cmd =
   let model_name =
@@ -257,11 +280,11 @@ let check_model_cmd =
     Term.(
       const check_model_run $ model_name $ bound_arg $ no_deadlock_arg
       $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ progress_arg)
+      $ jobs_arg $ progress_arg)
 
 (* --- resume ------------------------------------------------------------------- *)
 
-let resume_run file timeout checkpoint checkpoint_every progress =
+let resume_run file timeout checkpoint checkpoint_every jobs progress =
   match Icb_search.Checkpoint.load file with
   | exception Icb_search.Checkpoint.Corrupt msg ->
     Format.eprintf "%s@." msg;
@@ -314,7 +337,7 @@ let resume_run file timeout checkpoint checkpoint_every progress =
       ~options:(options_of ~no_deadlock ~timeout ~progress)
       ~gran
       ~checkpoint:(Some (Option.value checkpoint ~default:file))
-      ~checkpoint_every ~resume_from:(Some ckpt) ())
+      ~checkpoint_every ~resume_from:(Some ckpt) ~jobs ())
 
 let resume_cmd =
   let file =
@@ -343,7 +366,7 @@ let resume_cmd =
     (Cmd.info "resume" ~doc ~man)
     Term.(
       const resume_run $ file $ timeout_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ progress_arg)
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -399,7 +422,8 @@ let parse_strategy s =
     | None -> Error ("bad strategy: " ^ s))
   | _ -> Error ("bad strategy: " ^ s)
 
-let explore_run path strategy no_deadlock gran max_execs timeout progress =
+let explore_run path strategy no_deadlock gran max_execs timeout jobs progress
+    =
   match load_program path, parse_strategy strategy with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -408,6 +432,19 @@ let explore_run path strategy no_deadlock gran max_execs timeout progress =
     Format.eprintf "%s@." msg;
     exit 2
   | prog, Ok strategy ->
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be at least 1@.";
+      exit 2
+    end;
+    (match strategy with
+    | Icb_search.Explore.Icb _ -> ()
+    | _ when jobs > 1 ->
+      Format.eprintf
+        "--jobs applies only to the icb strategy (the domain pool shards \
+         ICB's per-bound work queue; other strategies have no such \
+         frontier)@.";
+      exit 2
+    | _ -> ());
     let config = config_of_granularity gran in
     let options =
       {
@@ -415,7 +452,7 @@ let explore_run path strategy no_deadlock gran max_execs timeout progress =
         Icb_search.Collector.max_executions = max_execs;
       }
     in
-    let r = Icb.run ~config ~options ~strategy prog in
+    let r = Icb.run ~config ~options ~domains:jobs ~strategy prog in
     Format.printf "%a@." Icb_search.Sresult.pp_summary r;
     List.iter
       (fun (bug : Icb.bug) ->
@@ -435,7 +472,104 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const explore_run $ path $ strategy_arg $ no_deadlock_arg
-      $ granularity_arg $ max_execs_arg $ timeout_arg $ progress_arg)
+      $ granularity_arg $ max_execs_arg $ timeout_arg $ jobs_arg
+      $ progress_arg)
+
+(* --- bench -------------------------------------------------------------------- *)
+
+(* Serial-vs-parallel comparison on a bundled model: runs the full ICB
+   search (no first-bug stop) both ways, prints the rates, and asserts
+   the determinism contract — identical bug sets and per-bound cumulative
+   execution counts.  Exit code 1 means the contract was violated. *)
+let bench_run name bound no_deadlock gran jobs =
+  match resolve_model name with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | Ok prog ->
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be at least 1@.";
+      exit 2
+    end;
+    let config = config_of_granularity gran in
+    let options =
+      {
+        Icb_search.Collector.default_options with
+        deadlock_is_error = not no_deadlock;
+      }
+    in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let serial, t_serial =
+      time (fun () ->
+          Icb.run ~config ~options
+            ~strategy:
+              (Icb_search.Explore.Icb { max_bound = Some bound; cache = false })
+            prog)
+    in
+    let par, t_par =
+      time (fun () ->
+          Icb.run_parallel ~config ~options ~max_bound:bound ~domains:jobs
+            prog)
+    in
+    let line what (r : Icb_search.Sresult.t) t =
+      Format.printf
+        "%-12s %8d executions %8d states %3d bugs  %6.2fs  %8.0f execs/s@."
+        what r.executions r.distinct_states (List.length r.bugs) t
+        (float_of_int r.executions /. max t 1e-9)
+    in
+    Format.printf "model %s, bound %d, %d core(s) available@." name bound
+      (Domain.recommended_domain_count ());
+    line "serial" serial t_serial;
+    line (Printf.sprintf "%d domains" jobs) par t_par;
+    let keys (r : Icb_search.Sresult.t) =
+      List.sort compare
+        (List.map (fun (b : Icb.bug) -> b.Icb_search.Sresult.key) r.bugs)
+    in
+    let ok =
+      keys serial = keys par
+      && serial.bound_executions = par.bound_executions
+      && serial.executions = par.executions
+    in
+    if ok then Format.printf "equivalence: OK@."
+    else begin
+      Format.eprintf
+        "equivalence FAILED: parallel run diverged from serial (bug sets or \
+         per-bound execution counts differ)@.";
+      exit 1
+    end
+
+let bench_cmd =
+  let model_name =
+    Arg.(
+      value
+      & pos 0 string "work-stealing-queue:pop-reads-head-first"
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Bundled model to benchmark (a name printed by $(b,icb \
+             models)).")
+  in
+  let doc = "compare serial and parallel ICB on a bundled model" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the full iterative-context-bounding search on a bundled \
+         model twice — serially and on $(b,--jobs) OCaml domains — and \
+         prints executions/second for both, then asserts that the two \
+         runs found the same bug set and the same per-bound execution \
+         counts (the determinism contract; see docs/PARALLEL.md).  The \
+         wider equivalence suite lives in $(b,bench/main.exe parallel).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc ~man)
+    Term.(
+      const bench_run $ model_name $ bound_arg $ no_deadlock_arg
+      $ granularity_arg $ jobs_arg)
 
 (* --- compile ------------------------------------------------------------------ *)
 
@@ -483,6 +617,7 @@ let () =
             check_model_cmd;
             resume_cmd;
             explore_cmd;
+            bench_cmd;
             compile_cmd;
             models_cmd;
           ]))

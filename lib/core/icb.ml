@@ -26,17 +26,29 @@ let engine ?(config = Icb_search.Mach_engine.default_config) prog =
     with type state = Icb_search.Mach_engine.state)
 
 let run ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    ?resume_from ~strategy prog =
+    ?resume_from ?domains ~strategy prog =
   Icb_search.Explore.run (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ?resume_from strategy
+    ?checkpoint_every ?checkpoint_meta ?resume_from ?domains strategy
+
+let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
+    ?checkpoint_meta ?resume_from ?max_bound ?(cache = false) ~domains prog =
+  (* Each worker gets its own machine-engine instance, and machine states
+     are persistent plain data any instance can step, so deferred work
+     items carry their live states across the barrier instead of being
+     replayed. *)
+  Icb_search.Parallel.run
+    (fun _ -> engine ?config prog)
+    ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
+    ~share_states:true ~domains ~max_bound ~cache ()
 
 let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    prog ckpt =
+    ?domains prog ckpt =
   Icb_search.Explore.resume (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ckpt
+    ?checkpoint_every ?checkpoint_meta ?domains ckpt
 
-let check ?config ?options ?(max_bound = 3) prog =
-  Icb_search.Explore.check (engine ?config prog) ?options ~max_bound ()
+let check ?config ?options ?(max_bound = 3) ?domains prog =
+  Icb_search.Explore.check (engine ?config prog) ?options ~max_bound ?domains
+    ()
 
 let pp_bug fmt (b : bug) =
   Format.fprintf fmt

@@ -46,13 +46,38 @@ val run :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Icb_search.Checkpoint.t ->
+  ?domains:int ->
   strategy:Icb_search.Explore.strategy ->
   prog ->
   result
 (** See {!Icb_search.Explore.run}: all limits (including the wall-clock
     [deadline] in options) yield partial results rather than raising, and
     [checkpoint_out]/[resume_from] make ICB and random-walk searches
-    interruptible and resumable. *)
+    interruptible and resumable.  [domains] parallelizes an ICB search
+    (only) across OCaml domains; prefer {!run_parallel}, which also
+    shares engine states across workers instead of replaying prefixes. *)
+
+val run_parallel :
+  ?config:Icb_search.Mach_engine.config ->
+  ?options:Icb_search.Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  ?resume_from:Icb_search.Checkpoint.t ->
+  ?max_bound:int ->
+  ?cache:bool ->
+  domains:int ->
+  prog ->
+  result
+(** Parallel iterative context bounding: shard each context bound's work
+    queue across [domains] OCaml domains, each with its own engine
+    instance, and merge deterministically at a per-bound barrier — the
+    result (bug set, per-bound execution counts, states, steps) matches a
+    serial [run ~strategy:(Icb ...)] of the same program when
+    [cache = false] (the default; see {!Icb_search.Parallel} for the
+    cached caveat).  Checkpoints written here are resumable both serially
+    ({!resume}) and in parallel ({!resume} with [~domains], or
+    [run_parallel ~resume_from]). *)
 
 val resume :
   ?config:Icb_search.Mach_engine.config ->
@@ -60,17 +85,20 @@ val resume :
   ?checkpoint_out:string ->
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
+  ?domains:int ->
   prog ->
   Icb_search.Checkpoint.t ->
   result
 (** Continue a checkpointed search of [prog]; see
     {!Icb_search.Explore.resume}.  The checkpoint must have been written
-    for the same program. *)
+    for the same program.  [domains] resumes an ICB checkpoint in
+    parallel, whichever driver wrote it. *)
 
 val check :
   ?config:Icb_search.Mach_engine.config ->
   ?options:Icb_search.Collector.options ->
   ?max_bound:int ->
+  ?domains:int ->
   prog ->
   bug option
 (** Iterative context bounding, stopping at the first bug.  The returned

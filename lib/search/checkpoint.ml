@@ -44,7 +44,9 @@ exception Corrupt of string
 let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
 
 let magic = "ICBCKPT\x01"
-let version = 1
+
+(* v2: Collector snapshots grew the per-bound execution counts. *)
+let version = 2
 
 let save ~path t =
   let payload = Marshal.to_string t [] in

@@ -50,6 +50,7 @@ type t = {
   started : float;
   mutable growth : (int * int) list;          (* reversed *)
   mutable bound_coverage : (int * int) list;  (* reversed *)
+  mutable bound_executions : (int * int) list;(* reversed *)
 }
 
 let create opts =
@@ -70,6 +71,7 @@ let create opts =
     started = Unix.gettimeofday ();
     growth = [];
     bound_coverage = [];
+    bound_executions = [];
   }
 
 let over limit n = match limit with Some l -> n >= l | None -> false
@@ -172,9 +174,27 @@ let end_execution t (e : execution_end) =
   check_deadline t
 
 let record_bound t bound =
-  t.bound_coverage <- (bound, Hashtbl.length t.visited) :: t.bound_coverage
+  t.bound_coverage <- (bound, Hashtbl.length t.visited) :: t.bound_coverage;
+  t.bound_executions <- (bound, t.executions) :: t.bound_executions
 
 let set_complete t = t.complete <- true
+
+let note_stop t reason =
+  if t.stop_reason = None then t.stop_reason <- Some reason
+
+let total_steps t = t.total_steps
+
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let bug_count t = Hashtbl.length t.bugs
+
+let has_bug t key = Hashtbl.mem t.bugs key
+
+let absorb_bug t (b : Sresult.bug) =
+  if not (Hashtbl.mem t.bugs b.Sresult.key) then begin
+    Hashtbl.add t.bugs b.Sresult.key b;
+    t.bug_order <- b.Sresult.key :: t.bug_order
+  end
 
 (* --- checkpointable snapshot ------------------------------------------- *)
 
@@ -194,6 +214,7 @@ type snapshot = {
   s_complete : bool;
   s_growth : (int * int) list;          (* reversed, newest first *)
   s_bound_coverage : (int * int) list;  (* reversed, newest first *)
+  s_bound_executions : (int * int) list;(* reversed, newest first *)
 }
 
 let snapshot t =
@@ -217,6 +238,7 @@ let snapshot t =
     s_complete = t.complete;
     s_growth = t.growth;
     s_bound_coverage = t.bound_coverage;
+    s_bound_executions = t.bound_executions;
   }
 
 let restore opts s =
@@ -236,9 +258,45 @@ let restore opts s =
   t.complete <- s.s_complete;
   t.growth <- s.s_growth;
   t.bound_coverage <- s.s_bound_coverage;
+  t.bound_executions <- s.s_bound_executions;
   t
 
 let snapshot_complete s = s.s_complete
+
+let snapshot_bugs s = s.s_bugs
+
+let snapshot_executions s = s.s_executions
+
+(* --- parallel merge ------------------------------------------------------ *)
+
+(* Counter sums saturate at [max_int]: a long parallel campaign summing
+   per-worker totals must degrade to a pinned counter, never wrap to a
+   negative count (both operands are known non-negative). *)
+let sat_add a b =
+  let s = a + b in
+  if s < 0 then max_int else s
+
+(* Fold one worker's learning into the master accumulator: union of visited
+   states, saturating sums of the execution/step counters, max of the
+   maxima.  Bugs, growth curves and bound curves are deliberately NOT
+   merged here — the parallel executor owns those, because making them
+   deterministic requires sorting across all workers of a bound, not
+   pairwise folding.  Limits are not re-checked: merging happens at a
+   barrier, where the caller decides whether to stop. *)
+let merge_stats t (s : snapshot) =
+  Array.iter (fun sig_ -> Hashtbl.replace t.visited sig_ ()) s.s_visited;
+  t.executions <- sat_add t.executions s.s_executions;
+  t.total_steps <- sat_add t.total_steps s.s_total_steps;
+  t.max_steps <- max t.max_steps s.s_max_steps;
+  t.max_blocks <- max t.max_blocks s.s_max_blocks;
+  t.max_preemptions <- max t.max_preemptions s.s_max_preemptions;
+  t.max_threads <- max t.max_threads s.s_max_threads
+
+let mark_growth t =
+  t.growth <- (t.executions, Hashtbl.length t.visited) :: t.growth
+
+let forge_counts s ~executions ~total_steps =
+  { s with s_executions = executions; s_total_steps = total_steps }
 
 let result t ~strategy =
   {
@@ -254,5 +312,6 @@ let result t ~strategy =
     stop_reason = (if t.complete then None else t.stop_reason);
     growth = Array.of_list (List.rev t.growth);
     bound_coverage = Array.of_list (List.rev t.bound_coverage);
+    bound_executions = Array.of_list (List.rev t.bound_executions);
     total_steps = t.total_steps;
   }

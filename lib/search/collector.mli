@@ -73,9 +73,34 @@ type execution_end = {
 val end_execution : t -> execution_end -> unit
 
 val record_bound : t -> int -> unit
-(** ICB: snapshot coverage after completing the given context bound. *)
+(** ICB: snapshot coverage (distinct states and cumulative executions)
+    after completing the given context bound. *)
 
 val set_complete : t -> unit
+
+val note_stop : t -> Sresult.stop_reason -> unit
+(** Record why the search stopped without raising {!Stop} — the parallel
+    executor stops cooperatively at work-item boundaries instead of
+    unwinding.  The first recorded reason wins. *)
+
+val total_steps : t -> int
+
+val elapsed : t -> float
+(** Seconds since the collector was created (or restored). *)
+
+val bug_count : t -> int
+
+val has_bug : t -> string -> bool
+
+val absorb_bug : t -> Sresult.bug -> unit
+(** Add a bug found by another collector (a parallel worker), deduplicating
+    by key; never raises {!Stop} — the caller enforces
+    [stop_at_first_bug] at its own granularity. *)
+
+val mark_growth : t -> unit
+(** Append a (executions so far, distinct states) point to the growth
+    curve; the parallel executor calls this at each bound barrier, where
+    the serial collector would have recorded per-execution points. *)
 
 (** {2 Checkpointable state}
 
@@ -93,5 +118,24 @@ val restore : options -> snapshot -> t
 
 val snapshot_complete : snapshot -> bool
 (** The snapshotted search had already exhausted its space. *)
+
+val snapshot_bugs : snapshot -> Sresult.bug list
+(** Bugs in discovery order. *)
+
+val snapshot_executions : snapshot -> int
+
+val merge_stats : t -> snapshot -> unit
+(** Fold a parallel worker's snapshot into this (master) collector: union
+    of visited states, saturating sums of the execution and step counters
+    (they pin at [max_int] rather than wrapping negative), max of the
+    per-execution maxima.  Bugs and the growth/bound curves are NOT
+    merged: deterministic bug merging needs a sort across all workers of a
+    bound, which the parallel executor owns ({!absorb_bug},
+    {!mark_growth}, {!record_bound}).  No limit is re-checked and {!Stop}
+    is never raised. *)
+
+val forge_counts : snapshot -> executions:int -> total_steps:int -> snapshot
+(** A copy of the snapshot with the summed counters replaced; test support
+    for the saturation behaviour of {!merge_stats}. *)
 
 val result : t -> strategy:string -> Sresult.t

@@ -9,8 +9,7 @@ type strategy =
   | Most_enabled of { cache : bool }
 
 let strategy_name = function
-  | Icb { max_bound = None; _ } -> "icb"
-  | Icb { max_bound = Some b; _ } -> Printf.sprintf "icb:%d" b
+  | Icb { max_bound; _ } -> Search_core.icb_strategy_name ~max_bound
   | Dfs _ -> "dfs"
   | Bounded_dfs { depth; _ } -> Printf.sprintf "db:%d" depth
   | Iterative_dfs { max_depth; _ } -> Printf.sprintf "idfs:%d" max_depth
@@ -19,84 +18,13 @@ let strategy_name = function
   | Pct { change_points; _ } -> Printf.sprintf "pct:%d" change_points
   | Most_enabled _ -> "most-enabled"
 
-let finish (type s) (module E : Engine.S with type state = s) col (st : s)
-    status =
-  Collector.end_execution col
-    {
-      Collector.depth = E.depth st;
-      blocks = E.blocking_ops st;
-      preemptions = E.preemptions st;
-      threads = E.thread_count st;
-      schedule = E.schedule st;
-      signature = E.signature st;
-      status;
-    }
+(* Execution accounting, crash containment and checkpoint write control
+   live in [Search_core], shared with the parallel executor. *)
 
-(* --- crash containment -------------------------------------------------- *)
-
-(* An exception escaping an engine step (including Stack_overflow and
-   Out_of_memory when the runtime lets us catch them) must not abort the
-   whole search: the schedule prefix that provoked it is a perfectly
-   replayable bug report.  [Engine.Nondeterministic_program] gets its own
-   key and an actionable message; everything else is keyed by the
-   exception's constructor so repeated crashes deduplicate. *)
-let record_crash (type s) (module E : Engine.S with type state = s) col
-    (st : s) tid exn =
-  let key, msg =
-    match exn with
-    | Engine.Nondeterministic_program detail ->
-      ( "nondeterministic-program",
-        Printf.sprintf
-          "the test body is nondeterministic: %s; make the body \
-           deterministic (no timing, Random or I/O dependence, no state \
-           leaking across executions) so schedules replay faithfully"
-          detail )
-    | exn ->
-      ( "engine-crash:" ^ Printexc.exn_slot_name exn,
-        Printf.sprintf
-          "exception escaped the engine step (thread %d at depth %d): %s"
-          tid (E.depth st) (Printexc.to_string exn) )
-  in
-  Collector.end_execution col
-    {
-      Collector.depth = E.depth st + 1;
-      blocks = E.blocking_ops st;
-      preemptions = E.preemptions st;
-      threads = E.thread_count st;
-      schedule = E.schedule st @ [ tid ];
-      signature = E.signature st;
-      status = Engine.Failed { key; msg };
-    }
-
-(* Step the engine, containing crashes: [None] means the step blew up and
-   was recorded as a bug — the strategy simply abandons that branch. *)
-let step_guarded (type s) (module E : Engine.S with type state = s) col
-    (st : s) tid =
-  match E.step st tid with
-  | st' -> Some st'
-  | exception Collector.Stop -> raise Collector.Stop
-  | exception exn ->
-    record_crash (module E) col st tid exn;
-    None
-
-(* --- checkpointing ------------------------------------------------------ *)
-
-type ckpt_ctl = {
-  ck_path : string;
-  ck_every : int;               (* executions between periodic saves *)
-  ck_meta : (string * string) list;
-  mutable ck_last : int;        (* executions at the last save *)
-}
-
-let save_checkpoint col ctl ~strategy ~frontier =
-  Checkpoint.save ~path:ctl.ck_path
-    {
-      Checkpoint.strategy;
-      meta = ctl.ck_meta;
-      collector = Collector.snapshot col;
-      frontier;
-    };
-  ctl.ck_last <- Collector.executions col
+let finish = Search_core.finish
+let record_crash = Search_core.record_crash
+let step_guarded = Search_core.step_guarded
+let save_checkpoint = Search_core.save_checkpoint
 
 (* --- Algorithm 1: iterative context bounding -------------------------- *)
 
@@ -115,27 +43,12 @@ let run_icb (type s) (module E : Engine.S with type state = s) col ~max_bound
     let k = (E.signature st, tid) in
     Hashtbl.mem table k || (Hashtbl.add table k (); false)
   in
-  let rec search (st, tid) =
-    if not (seen st tid) then begin
-      match step_guarded (module E) col st tid with
-      | None -> ()
-      | Some st' -> (
-        Collector.touch col (E.signature st');
-        match E.status st' with
-        | Engine.Running ->
-          let en = E.enabled st' in
-          if List.mem tid en then begin
-            (* running thread still enabled: continue it without a context
-               switch; scheduling anyone else here costs a preemption, so
-               defer those work items to the next bound *)
-            search (st', tid);
-            List.iter (fun t -> if t <> tid then Queue.add (st', t) next) en
-          end
-          else
-            (* the running thread blocked or finished: switching is free *)
-            List.iter (fun t -> search (st', t)) en
-        | status -> finish (module E) col st' status)
-    end
+  let search item =
+    Search_core.icb_item
+      (module E)
+      col ~seen
+      ~defer:(fun st t -> Queue.add (st, t) next)
+      item
   in
   let bound = ref 0 in
   (* Serialize the frontier as replayable schedule prefixes; [extra] holds
@@ -495,9 +408,9 @@ let run_random (type s) (module E : Engine.S with type state = s) col ~seed
 
 (* --- driver ------------------------------------------------------------ *)
 
-let default_checkpoint_every = 500
+let default_checkpoint_every = Search_core.default_checkpoint_every
 
-let run (type s) (module E : Engine.S with type state = s)
+let run_serial (type s) (module E : Engine.S with type state = s)
     ?(options = Collector.default_options) ?checkpoint_out
     ?(checkpoint_every = default_checkpoint_every)
     ?(checkpoint_meta = []) ?resume_from strategy =
@@ -510,7 +423,7 @@ let run (type s) (module E : Engine.S with type state = s)
     Option.map
       (fun path ->
         {
-          ck_path = path;
+          Search_core.ck_path = path;
           ck_every = max 1 checkpoint_every;
           ck_meta = checkpoint_meta;
           ck_last = Collector.executions col;
@@ -573,26 +486,56 @@ let run (type s) (module E : Engine.S with type state = s)
    with Collector.Stop -> ());
   Collector.result col ~strategy:(strategy_name strategy)
 
+(* [~domains] hands ICB searches to the parallel executor.  The single
+   engine module is shared by every worker, which is safe for modules
+   without module-level mutable state (the machine engine; the CHESS
+   engine's only module-level mutable is a stats counter).  States are
+   never shared across domains on this path — workers replay schedule
+   prefixes on their own states — so engines with domain-bound state
+   internals still work. *)
+let run (type s) (module E : Engine.S with type state = s) ?options
+    ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
+    ?(domains = 1) strategy =
+  if domains > 1 then
+    match strategy with
+    | Icb { max_bound; cache } ->
+      Parallel.run
+        (fun _ -> (module E : Engine.S with type state = s))
+        ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
+        ?resume_from ~share_states:false ~domains ~max_bound ~cache ()
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Explore.run: ~domains:%d applies only to the Icb strategy (got \
+            %s)"
+           domains (strategy_name strategy))
+  else
+    run_serial
+      (module E)
+      ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
+      strategy
+
 let strategy_of_checkpoint (c : Checkpoint.t) =
   match c.frontier with
   | Checkpoint.Icb_frontier { max_bound; cache; _ } -> Icb { max_bound; cache }
   | Checkpoint.Random_frontier { seed; _ } -> Random_walk { seed }
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
-    ?checkpoint_out ?checkpoint_every ?checkpoint_meta (c : Checkpoint.t) =
+    ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?domains
+    (c : Checkpoint.t) =
   let checkpoint_meta =
     match checkpoint_meta with Some m -> m | None -> c.meta
   in
   run
     (module E)
     ?options ?checkpoint_out ?checkpoint_every ~checkpoint_meta
-    ~resume_from:c
+    ~resume_from:c ?domains
     (strategy_of_checkpoint c)
 
 let check (type s) (module E : Engine.S with type state = s)
-    ?(options = Collector.default_options) ?max_bound () =
+    ?(options = Collector.default_options) ?max_bound ?domains () =
   let options = { options with Collector.stop_at_first_bug = true } in
-  let r = run (module E) ~options (Icb { max_bound; cache = false }) in
+  let r = run (module E) ~options ?domains (Icb { max_bound; cache = false }) in
   match r.Sresult.bugs with
   | bug :: _ -> Some bug
   | [] -> None

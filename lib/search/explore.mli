@@ -58,11 +58,20 @@ val run :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Checkpoint.t ->
+  ?domains:int ->
   strategy ->
   Sresult.t
 (** Explore the engine's transition system with the given strategy.
     Never raises on limit exhaustion — limits simply yield a result with
     [complete = false] and a [stop_reason].
+
+    [domains] (default 1) runs an {!Icb} search on that many OCaml
+    domains via {!Parallel.run}, sharing this engine module across
+    workers (states never cross domains on this path; each worker replays
+    schedule prefixes on its own states).  The result is deterministic
+    and matches the serial search — see {!Parallel} for the exact
+    guarantees and the [cache] caveat.  Raises [Invalid_argument] when
+    [domains > 1] is combined with any other strategy.
 
     [checkpoint_out] (ICB and random walk only) writes a checkpoint to
     that path every [checkpoint_every] (default
@@ -82,12 +91,14 @@ val resume :
   ?checkpoint_out:string ->
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
+  ?domains:int ->
   Checkpoint.t ->
   Sresult.t
 (** Continue a checkpointed search: derives the strategy from the
     checkpoint and calls {!run} with [resume_from].  When
     [checkpoint_meta] is omitted the checkpoint's own metadata is carried
-    forward. *)
+    forward.  [domains] parallelizes the resumed search; serial and
+    parallel checkpoints are mutually resumable. *)
 
 val strategy_of_checkpoint : Checkpoint.t -> strategy
 
@@ -95,6 +106,7 @@ val check :
   (module Engine.S with type state = 's) ->
   ?options:Collector.options ->
   ?max_bound:int ->
+  ?domains:int ->
   unit ->
   Sresult.bug option
 (** Convenience one-call checker: ICB with [stop_at_first_bug]; returns the

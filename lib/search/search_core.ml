@@ -1,0 +1,131 @@
+(* Machinery shared by the serial search strategies ([Explore]) and the
+   parallel ICB executor ([Parallel]): execution accounting, crash
+   containment, checkpoint write control and — most importantly — the
+   per-work-item ICB exploration.
+
+   The parallel executor replays the very same code path per work item as
+   the serial driver, so the two provably explore identical subtrees; the
+   equivalence test suite (test/test_parallel.ml) checks exactly that. *)
+
+let finish (type s) (module E : Engine.S with type state = s) col (st : s)
+    status =
+  Collector.end_execution col
+    {
+      Collector.depth = E.depth st;
+      blocks = E.blocking_ops st;
+      preemptions = E.preemptions st;
+      threads = E.thread_count st;
+      schedule = E.schedule st;
+      signature = E.signature st;
+      status;
+    }
+
+(* --- crash containment -------------------------------------------------- *)
+
+(* An exception escaping an engine step (including Stack_overflow and
+   Out_of_memory when the runtime lets us catch them) must not abort the
+   whole search: the schedule prefix that provoked it is a perfectly
+   replayable bug report.  [Engine.Nondeterministic_program] gets its own
+   key and an actionable message; everything else is keyed by the
+   exception's constructor so repeated crashes deduplicate. *)
+let record_crash (type s) (module E : Engine.S with type state = s) col
+    (st : s) tid exn =
+  let key, msg =
+    match exn with
+    | Engine.Nondeterministic_program detail ->
+      ( "nondeterministic-program",
+        Printf.sprintf
+          "the test body is nondeterministic: %s; make the body \
+           deterministic (no timing, Random or I/O dependence, no state \
+           leaking across executions) so schedules replay faithfully"
+          detail )
+    | exn ->
+      ( "engine-crash:" ^ Printexc.exn_slot_name exn,
+        Printf.sprintf
+          "exception escaped the engine step (thread %d at depth %d): %s"
+          tid (E.depth st) (Printexc.to_string exn) )
+  in
+  Collector.end_execution col
+    {
+      Collector.depth = E.depth st + 1;
+      blocks = E.blocking_ops st;
+      preemptions = E.preemptions st;
+      threads = E.thread_count st;
+      schedule = E.schedule st @ [ tid ];
+      signature = E.signature st;
+      status = Engine.Failed { key; msg };
+    }
+
+(* Step the engine, containing crashes: [None] means the step blew up and
+   was recorded as a bug — the strategy simply abandons that branch. *)
+let step_guarded (type s) (module E : Engine.S with type state = s) col
+    (st : s) tid =
+  match E.step st tid with
+  | st' -> Some st'
+  | exception Collector.Stop -> raise Collector.Stop
+  | exception exn ->
+    record_crash (module E) col st tid exn;
+    None
+
+(* --- the ICB work item -------------------------------------------------- *)
+
+(* Algorithm 1's inner loop: explore from [st] by running [tid] and then
+   every continuation that costs no preemption; a switch away from a
+   still-enabled running thread costs one preemption, so those branches are
+   handed to [defer] for the next context bound.  [seen] is the optional
+   state cache keyed on (signature, tid).
+
+   This closure is the unit of work of both the serial driver and the
+   parallel executor: its subtree is fully determined by (schedule prefix,
+   tid), independent of who runs it or when. *)
+let icb_item (type s) (module E : Engine.S with type state = s) col ~seen
+    ~defer (st0, tid0) =
+  let rec search (st, tid) =
+    if not (seen st tid) then begin
+      match step_guarded (module E) col st tid with
+      | None -> ()
+      | Some st' -> (
+        Collector.touch col (E.signature st');
+        match E.status st' with
+        | Engine.Running ->
+          let en = E.enabled st' in
+          if List.mem tid en then begin
+            (* running thread still enabled: continue it without a context
+               switch; scheduling anyone else here costs a preemption, so
+               defer those work items to the next bound *)
+            search (st', tid);
+            List.iter (fun t -> if t <> tid then defer st' t) en
+          end
+          else
+            (* the running thread blocked or finished: switching is free *)
+            List.iter (fun t -> search (st', t)) en
+        | status -> finish (module E) col st' status)
+    end
+  in
+  search (st0, tid0)
+
+let icb_strategy_name ~max_bound =
+  match max_bound with
+  | None -> "icb"
+  | Some b -> Printf.sprintf "icb:%d" b
+
+(* --- checkpoint write control ------------------------------------------- *)
+
+let default_checkpoint_every = 500
+
+type ckpt_ctl = {
+  ck_path : string;
+  ck_every : int;               (* executions between periodic saves *)
+  ck_meta : (string * string) list;
+  mutable ck_last : int;        (* executions at the last save *)
+}
+
+let save_checkpoint col ctl ~strategy ~frontier =
+  Checkpoint.save ~path:ctl.ck_path
+    {
+      Checkpoint.strategy;
+      meta = ctl.ck_meta;
+      collector = Collector.snapshot col;
+      frontier;
+    };
+  ctl.ck_last <- Collector.executions col

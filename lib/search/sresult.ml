@@ -35,6 +35,7 @@ type t = {
   stop_reason : stop_reason option;
   growth : (int * int) array;
   bound_coverage : (int * int) array;
+  bound_executions : (int * int) array;
   total_steps : int;
 }
 

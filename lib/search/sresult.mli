@@ -37,6 +37,10 @@ type t = {
   growth : (int * int) array; (** (executions so far, distinct states) after each execution *)
   bound_coverage : (int * int) array;
       (** ICB only: (context bound, distinct states) after completing each bound *)
+  bound_executions : (int * int) array;
+      (** ICB only: (context bound, cumulative executions) after completing
+          each bound — identical between a serial run and a parallel run of
+          the same search, which the equivalence tests exploit *)
   total_steps : int;
 }
 
