@@ -8,8 +8,10 @@
    icb models                -- list bundled benchmark models
    icb check-model NAME      -- check a bundled model (e.g. "bluetooth:bug")
 
-   check, check-model, resume and explore take --jobs N to shard the ICB
-   search across N OCaml domains (docs/PARALLEL.md). *)
+   check, check-model, resume and explore take --jobs N to shard the
+   search across N OCaml domains; every strategy whose frontier shards
+   (icb, dfs, db:N, idfs:N, random, pct:N) accepts it
+   (docs/PARALLEL.md). *)
 
 open Cmdliner
 
@@ -73,12 +75,22 @@ let checkpoint_every_arg =
 let jobs_arg =
   let doc =
     "Worker domains for the search (default 1 = serial).  With $(docv) > \
-     1 each context bound's work queue is sharded across $(docv) OCaml \
-     domains with work stealing; the result (bug set, per-bound execution \
-     counts) is deterministic and identical to a serial run.  See \
-     docs/PARALLEL.md."
+     1 each round's work queue is sharded across $(docv) OCaml domains \
+     with work stealing; the result (bug set, per-round execution \
+     counts) is deterministic and identical to a serial run.  Available \
+     for every strategy whose frontier shards: $(b,icb), $(b,dfs), \
+     $(b,db:N), $(b,idfs:N), $(b,random) and $(b,pct:N); $(b,sleep) and \
+     $(b,most-enabled) are serial-only.  See docs/PARALLEL.md."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc =
+    "Seed for the randomized strategies ($(b,random), $(b,pct:N)); \
+     deterministic strategies ignore it.  The default 2007 keeps \
+     historical runs reproducible."
+  in
+  Arg.(value & opt int64 2007L & info [ "seed" ] ~docv:"N" ~doc)
 
 let progress_arg =
   let doc =
@@ -195,8 +207,8 @@ let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
         | None -> "");
       exit 3)
 
-let check_run path bound no_deadlock gran timeout checkpoint checkpoint_every
-    jobs progress =
+let check_run path bound seed no_deadlock gran timeout checkpoint
+    checkpoint_every jobs progress =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -207,6 +219,7 @@ let check_run path bound no_deadlock gran timeout checkpoint checkpoint_every
         ("kind", "file");
         ("target", path);
         ("bound", string_of_int bound);
+        ("seed", Int64.to_string seed);
         ("granularity", granularity_name gran);
         ("no-deadlock", string_of_bool no_deadlock);
       ]
@@ -237,13 +250,13 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc ~man)
     Term.(
-      const check_run $ path $ bound_arg $ no_deadlock_arg $ granularity_arg
-      $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg $ jobs_arg
-      $ progress_arg)
+      const check_run $ path $ bound_arg $ seed_arg $ no_deadlock_arg
+      $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ jobs_arg $ progress_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
-let check_model_run name bound no_deadlock gran timeout checkpoint
+let check_model_run name bound seed no_deadlock gran timeout checkpoint
     checkpoint_every jobs progress =
   match resolve_model name with
   | Error msg ->
@@ -255,6 +268,7 @@ let check_model_run name bound no_deadlock gran timeout checkpoint
         ("kind", "model");
         ("target", name);
         ("bound", string_of_int bound);
+        ("seed", Int64.to_string seed);
         ("granularity", granularity_name gran);
         ("no-deadlock", string_of_bool no_deadlock);
       ]
@@ -278,9 +292,9 @@ let check_model_cmd =
   Cmd.v
     (Cmd.info "check-model" ~doc)
     Term.(
-      const check_model_run $ model_name $ bound_arg $ no_deadlock_arg
-      $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ jobs_arg $ progress_arg)
+      const check_model_run $ model_name $ bound_arg $ seed_arg
+      $ no_deadlock_arg $ granularity_arg $ timeout_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
 
 (* --- resume ------------------------------------------------------------------- *)
 
@@ -320,19 +334,53 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress =
           exit 2)
       | _ -> missing "how to rebuild the program"
     in
+    let gran = if meta "granularity" = Some "every" then `Every else `Sync in
+    let no_deadlock = meta "no-deadlock" = Some "true" in
+    Format.eprintf "[icb] resuming %s@." (Icb_search.Checkpoint.describe ckpt);
+    (* Checkpoints written by `icb explore --checkpoint` carry the
+       strategy in the file itself, not a preemption bound; resume them
+       with explore's reporting (full search, no first-bug stop). *)
+    if meta "mode" = Some "explore" then begin
+      if jobs < 1 then begin
+        Format.eprintf "--jobs must be at least 1@.";
+        exit 2
+      end;
+      let config = config_of_granularity gran in
+      (* The original run's --max-executions is recorded in the file;
+         without it a resumed randomized strategy would run to its hard
+         walk cap rather than the horizon the user asked for. *)
+      let options =
+        {
+          (options_of ~no_deadlock ~timeout ~progress) with
+          Icb_search.Collector.max_executions =
+            Option.bind (meta "max-executions") int_of_string_opt;
+        }
+      in
+      let r =
+        try
+          Icb.resume ~config ~options
+            ~checkpoint_out:(Option.value checkpoint ~default:file)
+            ~checkpoint_every ~domains:jobs prog ckpt
+        with Invalid_argument msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+      in
+      Format.printf "%a@." Icb_search.Sresult.pp_summary r;
+      List.iter
+        (fun (bug : Icb.bug) -> Format.printf "@.%a@." Icb.pp_bug bug)
+        r.Icb_search.Sresult.bugs;
+      exit (if r.bugs <> [] then 1 else 0)
+    end;
     let bound =
       match Option.bind (meta "bound") int_of_string_opt with
       | Some b -> b
       | None -> missing "the preemption bound"
     in
-    let gran = if meta "granularity" = Some "every" then `Every else `Sync in
-    let no_deadlock = meta "no-deadlock" = Some "true" in
-    Format.eprintf "[icb] resuming %s@." (Icb_search.Checkpoint.describe ckpt);
     run_check ~prog
       ~meta:
         (List.filter_map
            (fun k -> Option.map (fun v -> (k, v)) (meta k))
-           [ "kind"; "target"; "bound"; "granularity"; "no-deadlock" ])
+           [ "kind"; "target"; "bound"; "seed"; "granularity"; "no-deadlock" ])
       ~bound
       ~options:(options_of ~no_deadlock ~timeout ~progress)
       ~gran
@@ -370,13 +418,29 @@ let resume_cmd =
 
 (* --- explore ------------------------------------------------------------------ *)
 
+(* The one list every accepted --strategy spelling comes from; the help
+   text and the parse error both render it so they cannot drift apart. *)
+let strategy_forms =
+  [
+    ("icb", "iterative context bounding, unbounded");
+    ("icb:N", "iterative context bounding up to N preemptions");
+    ("dfs", "plain depth-first search");
+    ("db:N", "depth-bounded DFS");
+    ("idfs:N", "iterative deepening DFS to depth N");
+    ("random", "random walks (see --seed)");
+    ("sleep", "DFS with sleep-set partial-order reduction");
+    ("pct:N", "probabilistic concurrency testing, N change points");
+    ("most-enabled", "best-first by enabled-thread count");
+  ]
+
 let strategy_arg =
   let doc =
-    "Search strategy: $(b,icb), $(b,dfs), $(b,db:N) (depth-bounded), \
-     $(b,idfs:N) (iterative deepening to N), $(b,random), $(b,sleep) \
-     (DFS with sleep-set partial-order reduction), $(b,pct:D) \
-     (probabilistic concurrency testing with D change points), or \
-     $(b,most-enabled) (best-first by enabled-thread count)."
+    "Search strategy: "
+    ^ String.concat ", "
+        (List.map
+           (fun (form, what) -> Printf.sprintf "$(b,%s) (%s)" form what)
+           strategy_forms)
+    ^ "."
   in
   Arg.(value & opt string "icb" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
@@ -385,7 +449,7 @@ let max_execs_arg =
   Arg.(
     value & opt (some int) None & info [ "max-executions" ] ~docv:"N" ~doc)
 
-let parse_strategy s =
+let parse_strategy ~seed s =
   let starts_with prefix =
     String.length s > String.length prefix
     && String.sub s 0 (String.length prefix) = prefix
@@ -394,37 +458,41 @@ let parse_strategy s =
     int_of_string_opt
       (String.sub s (String.length prefix) (String.length s - String.length prefix))
   in
+  let bad () =
+    Error
+      (Printf.sprintf "bad strategy: %s (accepted: %s)" s
+         (String.concat ", " (List.map fst strategy_forms)))
+  in
   match s with
   | "icb" -> Ok (Icb_search.Explore.Icb { max_bound = None; cache = true })
   | "dfs" -> Ok (Icb_search.Explore.Dfs { cache = true })
-  | "random" -> Ok (Icb_search.Explore.Random_walk { seed = 2007L })
+  | "random" -> Ok (Icb_search.Explore.Random_walk { seed })
   | "sleep" -> Ok Icb_search.Explore.Sleep_dfs
   | "most-enabled" -> Ok (Icb_search.Explore.Most_enabled { cache = true })
   | _ when starts_with "icb:" -> (
     match suffix_int "icb:" with
     | Some b -> Ok (Icb_search.Explore.Icb { max_bound = Some b; cache = true })
-    | None -> Error ("bad strategy: " ^ s))
+    | None -> bad ())
   | _ when starts_with "db:" -> (
     match suffix_int "db:" with
     | Some d -> Ok (Icb_search.Explore.Bounded_dfs { depth = d; cache = true })
-    | None -> Error ("bad strategy: " ^ s))
+    | None -> bad ())
   | _ when starts_with "pct:" -> (
     match suffix_int "pct:" with
-    | Some d ->
-      Ok (Icb_search.Explore.Pct { change_points = d; seed = 2007L })
-    | None -> Error ("bad strategy: " ^ s))
+    | Some d -> Ok (Icb_search.Explore.Pct { change_points = d; seed })
+    | None -> bad ())
   | _ when starts_with "idfs:" -> (
     match suffix_int "idfs:" with
     | Some d ->
       Ok
         (Icb_search.Explore.Iterative_dfs
            { start = 10; incr = 10; max_depth = d; cache = true })
-    | None -> Error ("bad strategy: " ^ s))
-  | _ -> Error ("bad strategy: " ^ s)
+    | None -> bad ())
+  | _ -> bad ()
 
-let explore_run path strategy no_deadlock gran max_execs timeout jobs progress
-    =
-  match load_program path, parse_strategy strategy with
+let explore_run path strategy_str seed no_deadlock gran max_execs timeout
+    checkpoint checkpoint_every jobs progress =
+  match load_program path, parse_strategy ~seed strategy_str with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
     exit 2
@@ -432,19 +500,11 @@ let explore_run path strategy no_deadlock gran max_execs timeout jobs progress
     Format.eprintf "%s@." msg;
     exit 2
   | prog, Ok strategy ->
+    validate_checkpoint_path checkpoint;
     if jobs < 1 then begin
       Format.eprintf "--jobs must be at least 1@.";
       exit 2
     end;
-    (match strategy with
-    | Icb_search.Explore.Icb _ -> ()
-    | _ when jobs > 1 ->
-      Format.eprintf
-        "--jobs applies only to the icb strategy (the domain pool shards \
-         ICB's per-bound work queue; other strategies have no such \
-         frontier)@.";
-      exit 2
-    | _ -> ());
     let config = config_of_granularity gran in
     let options =
       {
@@ -452,12 +512,41 @@ let explore_run path strategy no_deadlock gran max_execs timeout jobs progress
         Icb_search.Collector.max_executions = max_execs;
       }
     in
-    let r = Icb.run ~config ~options ~domains:jobs ~strategy prog in
+    let meta =
+      [
+        ("mode", "explore");
+        ("kind", "file");
+        ("target", path);
+        ("strategy", strategy_str);
+        ("seed", Int64.to_string seed);
+        ("granularity", granularity_name gran);
+        ("no-deadlock", string_of_bool no_deadlock);
+      ]
+      @
+      match max_execs with
+      | Some n -> [ ("max-executions", string_of_int n) ]
+      | None -> []
+    in
+    (* Non-shardable strategies (sleep, most-enabled) reject --jobs > 1
+       in the driver with a message naming the ones that do shard, and
+       sleep rejects --checkpoint the same way. *)
+    let r =
+      try
+        Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
+          ~checkpoint_meta:meta ~domains:jobs ~strategy prog
+      with Invalid_argument msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+    in
     Format.printf "%a@." Icb_search.Sresult.pp_summary r;
     List.iter
       (fun (bug : Icb.bug) ->
         Format.printf "@.%a@." Icb.pp_bug bug)
       r.Icb_search.Sresult.bugs;
+    (match (r.Icb_search.Sresult.stop_reason, checkpoint) with
+    | Some _, Some f ->
+      Format.eprintf "continue with `icb resume %s`@." f
+    | _ -> ());
     if r.bugs <> [] then exit 1
 
 let explore_cmd =
@@ -471,9 +560,9 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const explore_run $ path $ strategy_arg $ no_deadlock_arg
-      $ granularity_arg $ max_execs_arg $ timeout_arg $ jobs_arg
-      $ progress_arg)
+      const explore_run $ path $ strategy_arg $ seed_arg $ no_deadlock_arg
+      $ granularity_arg $ max_execs_arg $ timeout_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
 
 (* --- bench -------------------------------------------------------------------- *)
 

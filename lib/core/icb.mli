@@ -52,9 +52,10 @@ val run :
   result
 (** See {!Icb_search.Explore.run}: all limits (including the wall-clock
     [deadline] in options) yield partial results rather than raising, and
-    [checkpoint_out]/[resume_from] make ICB and random-walk searches
-    interruptible and resumable.  [domains] parallelizes an ICB search
-    (only) across OCaml domains; prefer {!run_parallel}, which also
+    [checkpoint_out]/[resume_from] make every strategy but [Sleep_dfs]
+    interruptible and resumable.  [domains] shards any strategy whose
+    frontier shards ([Icb], the DFS family, [Random_walk], [Pct]) across
+    OCaml domains; for ICB specifically, {!run_parallel} additionally
     shares engine states across workers instead of replaying prefixes. *)
 
 val run_parallel :
@@ -91,8 +92,9 @@ val resume :
   result
 (** Continue a checkpointed search of [prog]; see
     {!Icb_search.Explore.resume}.  The checkpoint must have been written
-    for the same program.  [domains] resumes an ICB checkpoint in
-    parallel, whichever driver wrote it. *)
+    for the same program (a fingerprint mismatch raises
+    [Invalid_argument]).  [domains] resumes any shardable strategy's
+    checkpoint in parallel, whichever driver wrote it. *)
 
 val check :
   ?config:Icb_search.Mach_engine.config ->

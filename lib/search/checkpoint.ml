@@ -17,20 +17,45 @@
    atomic rename, so a killed writer can never leave a half-written file
    under the checkpoint's name; the digest additionally rejects files
    truncated or corrupted by other means with a clear error instead of a
-   crash or a silently wrong resume. *)
+   crash or a silently wrong resume.
+
+   Version history:
+     v1  ICB/random-walk frontiers; collector snapshots without the
+         per-bound execution counts.
+     v2  collector snapshots grew [s_bound_executions] (appended last, so
+         v2 payloads still unmarshal at the current layouts).
+     v3  the strategy-agnostic frontier: a strategy tag, its parameters
+         as strings, the round counter and the work/deferred prefix
+         lists.  Any checkpointable strategy serializes to it.
+   v1 and v2 files are read (the legacy frontier constructors below keep
+   their Marshal tags) and upgraded in memory via [to_v3]; files are
+   always written at the current version. *)
+
+type v3 = {
+  v3_tag : string;       (* strategy family, e.g. "icb", "random" *)
+  v3_params : (string * string) list;
+      (* enough to rebuild the strategy: max_bound/cache/seed/...; may
+         also carry round-local progress (e.g. idfs truncation count) *)
+  v3_round : int;        (* strategy-interpreted: ICB bound, iterative
+                            depth, next walk index, ... *)
+  v3_work : (int list * int) list;
+      (* (schedule prefix, payload) — the current round's pending items;
+         payload is the thread to run, [-1] for "visit the replayed
+         state", or a walk index for randomized strategies *)
+  v3_next : (int list * int) list;  (* deferred to the next round *)
+}
 
 type frontier =
   | Icb_frontier of {
-      bound : int;           (* the context bound being drained *)
+      bound : int;
       work : (int list * int) list;
-          (* (schedule prefix, tid to run next), current bound's queue *)
-      next : (int list * int) list;  (* deferred to bound + 1 *)
+      next : (int list * int) list;
       max_bound : int option;
       cache : bool;
       cache_keys : (int64 * int) list;
-          (* the state-caching table's keys, when [cache] *)
-    }
-  | Random_frontier of { seed : int64; rng_state : int64 }
+    }  (* legacy: read from v1/v2 files only, upgraded by [to_v3] *)
+  | Random_frontier of { seed : int64; rng_state : int64 }  (* legacy *)
+  | V3 of v3
 
 type t = {
   strategy : string;
@@ -45,8 +70,19 @@ let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
 
 let magic = "ICBCKPT\x01"
 
-(* v2: Collector snapshots grew the per-bound execution counts. *)
-let version = 2
+(* v3: the strategy-agnostic frontier. *)
+let version = 3
+
+(* The v1 payload layout: same record, but the collector snapshot lacks
+   its (last) per-bound execution field.  The frontier type is unchanged
+   between v1 and v2, and appending [V3] keeps the legacy constructors'
+   Marshal tags stable, so [frontier] itself still matches. *)
+type t_v1 = {
+  v1_strategy : string;
+  v1_meta : (string * string) list;
+  v1_collector : Collector.snapshot_v1;
+  v1_frontier : frontier;
+}
 
 let save ~path t =
   let payload = Marshal.to_string t [] in
@@ -92,10 +128,10 @@ let load path =
           corrupt "checkpoint %s is truncated (while reading the version)"
             path
       in
-      if v <> version then
+      if v < 1 || v > version then
         corrupt
           "checkpoint %s has format version %d but this build reads only \
-           version %d; re-run the original search"
+           versions 1..%d; re-run the original search"
           path v version;
       let digest = read_exactly 16 "the payload digest" in
       let len =
@@ -111,23 +147,59 @@ let load path =
           "checkpoint %s is corrupted (payload checksum mismatch); it was \
            probably damaged after being written"
           path;
-      match (Marshal.from_string payload 0 : t) with
-      | t -> t
-      | exception Failure msg ->
-        corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
+      if v = 1 then
+        match (Marshal.from_string payload 0 : t_v1) with
+        | old ->
+          {
+            strategy = old.v1_strategy;
+            meta = old.v1_meta;
+            collector = Collector.snapshot_of_v1 old.v1_collector;
+            frontier = old.v1_frontier;
+          }
+        | exception Failure msg ->
+          corrupt "checkpoint %s payload does not unmarshal: %s" path msg
+      else
+        match (Marshal.from_string payload 0 : t) with
+        | t -> t
+        | exception Failure msg ->
+          corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
+
+(* Upgrade a legacy frontier in memory.  The random-walk conversion drops
+   the saved sequential RNG state: walks are now derived from (seed, walk
+   index), so the collector's execution count tells the resume where the
+   stream stands. *)
+let to_v3 (t : t) : v3 =
+  match t.frontier with
+  | V3 f -> f
+  | Icb_frontier { bound; work; next; max_bound; cache; cache_keys = _ } ->
+    {
+      v3_tag = "icb";
+      v3_params =
+        (match max_bound with
+        | None -> [ ("cache", string_of_bool cache) ]
+        | Some b ->
+          [ ("max_bound", string_of_int b); ("cache", string_of_bool cache) ]);
+      v3_round = bound;
+      v3_work = work;
+      v3_next = next;
+    }
+  | Random_frontier { seed; rng_state = _ } ->
+    {
+      v3_tag = "random";
+      v3_params = [ ("seed", Int64.to_string seed) ];
+      v3_round = Collector.snapshot_executions t.collector;
+      v3_work = [];
+      v3_next = [];
+    }
 
 let meta_find t key = List.assoc_opt key t.meta
 
 let describe t =
   let frontier =
-    match t.frontier with
-    | Icb_frontier { bound; work; next; max_bound; _ } ->
-      Printf.sprintf "icb at bound %d (%d work items, %d deferred%s)" bound
-        (List.length work) (List.length next)
-        (match max_bound with
-        | Some b -> Printf.sprintf ", max bound %d" b
-        | None -> "")
-    | Random_frontier _ -> "random walk"
+    let f = to_v3 t in
+    Printf.sprintf "%s at round %d (%d work items, %d deferred)" f.v3_tag
+      f.v3_round (List.length f.v3_work)
+      (List.length f.v3_next)
   in
   Printf.sprintf "%s: %s%s" t.strategy frontier
     (if Collector.snapshot_complete t.collector then " — already complete"

@@ -13,20 +13,45 @@
     writes are atomic (temp file + rename), so a killed writer never
     leaves a corrupt file under the checkpoint's name, and any truncated
     or damaged file is rejected with {!Corrupt} rather than a crash or a
-    silently wrong resume.  The format version is bumped on any
-    incompatible change; older versions are rejected, never guessed at. *)
+    silently wrong resume.
+
+    The current format is v3: a strategy-agnostic frontier — a strategy
+    tag, its parameters, a round counter and the work/deferred schedule
+    prefixes ({!v3}).  v1 and v2 files (ICB and random-walk only) are
+    still read and upgraded in memory ({!to_v3}); future versions are
+    rejected, never guessed at. *)
+
+type v3 = {
+  v3_tag : string;
+      (** strategy family: ["icb"], ["dfs"], ["db"], ["idfs"],
+          ["random"], ["pct"], ["most-enabled"] *)
+  v3_params : (string * string) list;
+      (** the strategy's parameters as strings (["max_bound"], ["cache"],
+          ["seed"], ...), plus any round-local progress it must carry
+          across a kill *)
+  v3_round : int;
+      (** strategy-interpreted: ICB's context bound, iterative DFS's
+          current depth bound, a random walk's next walk index, ... *)
+  v3_work : (int list * int) list;
+      (** (schedule prefix, payload) — the current round's pending items.
+          The payload is the thread to run from the replayed state, [-1]
+          for "visit the replayed state itself", or a walk index for
+          randomized strategies. *)
+  v3_next : (int list * int) list;  (** deferred to the next round *)
+}
 
 type frontier =
   | Icb_frontier of {
-      bound : int;                    (** the context bound being drained *)
+      bound : int;
       work : (int list * int) list;
-          (** (schedule prefix, tid to run next) — this bound's queue *)
-      next : (int list * int) list;   (** deferred to [bound + 1] *)
+      next : (int list * int) list;
       max_bound : int option;
       cache : bool;
       cache_keys : (int64 * int) list;
     }
-  | Random_frontier of { seed : int64; rng_state : int64 }
+      (** legacy: only read back from v1/v2 files, upgraded by {!to_v3} *)
+  | Random_frontier of { seed : int64; rng_state : int64 }  (** legacy *)
+  | V3 of v3
 
 type t = {
   strategy : string;                (** [Explore.strategy_name] at save time *)
@@ -44,13 +69,22 @@ exception Corrupt of string
 
 val save : path:string -> t -> unit
 (** Atomic write: marshal to a temp file in the same directory, then
-    rename over [path]. *)
+    rename over [path].  Always writes the current format version. *)
 
 val load : string -> t
 (** Raises {!Corrupt} on anything that is not a complete, intact
-    checkpoint of the current format version. *)
+    checkpoint of a readable format version (1, 2 or 3).  v1/v2 payloads
+    are upgraded in memory; the returned frontier may still be a legacy
+    constructor — call {!to_v3} before interpreting it. *)
+
+val to_v3 : t -> v3
+(** The frontier in current form, upgrading the legacy constructors: an
+    ICB frontier maps bound/work/next across directly (dropping the cache
+    keys — a resumed cache starts cold and merely re-explores a little);
+    a random-walk frontier drops the sequential RNG state and positions
+    the per-walk stream at the collector's execution count. *)
 
 val meta_find : t -> string -> string option
 
 val describe : t -> string
-(** One human-readable line: strategy, bound, frontier sizes. *)
+(** One human-readable line: strategy, round, frontier sizes. *)

@@ -267,6 +267,41 @@ let snapshot_bugs s = s.s_bugs
 
 let snapshot_executions s = s.s_executions
 
+(* The format-v1 snapshot layout (before the per-bound execution counts
+   grew the record): identical except for the missing final
+   [s_bound_executions] field.  [Checkpoint.load] unmarshals v1 payloads
+   at this type — structural layout is all [Marshal] cares about — and
+   upgrades them here. *)
+type snapshot_v1 = {
+  v1_visited : int64 array;
+  v1_bugs : Sresult.bug list;
+  v1_executions : int;
+  v1_total_steps : int;
+  v1_max_steps : int;
+  v1_max_blocks : int;
+  v1_max_preemptions : int;
+  v1_max_threads : int;
+  v1_complete : bool;
+  v1_growth : (int * int) list;
+  v1_bound_coverage : (int * int) list;
+}
+
+let snapshot_of_v1 v =
+  {
+    s_visited = v.v1_visited;
+    s_bugs = v.v1_bugs;
+    s_executions = v.v1_executions;
+    s_total_steps = v.v1_total_steps;
+    s_max_steps = v.v1_max_steps;
+    s_max_blocks = v.v1_max_blocks;
+    s_max_preemptions = v.v1_max_preemptions;
+    s_max_threads = v.v1_max_threads;
+    s_complete = v.v1_complete;
+    s_growth = v.v1_growth;
+    s_bound_coverage = v.v1_bound_coverage;
+    s_bound_executions = [];
+  }
+
 (* --- parallel merge ------------------------------------------------------ *)
 
 (* Counter sums saturate at [max_int]: a long parallel campaign summing

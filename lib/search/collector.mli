@@ -124,6 +124,15 @@ val snapshot_bugs : snapshot -> Sresult.bug list
 
 val snapshot_executions : snapshot -> int
 
+type snapshot_v1
+(** The snapshot layout written by format-v1 checkpoints (no per-bound
+    execution counts).  Only {!Checkpoint.load} unmarshals values at this
+    type. *)
+
+val snapshot_of_v1 : snapshot_v1 -> snapshot
+(** Upgrade a v1 snapshot; the missing per-bound execution curve becomes
+    empty. *)
+
 val merge_stats : t -> snapshot -> unit
 (** Fold a parallel worker's snapshot into this (master) collector: union
     of visited states, saturating sums of the execution and step counters

@@ -1,3 +1,12 @@
+(* The strategy catalogue and the public search entry points.
+
+   This module no longer contains any search loop: each strategy variant
+   selects a {!Strategies} instance (a first-class module of type
+   {!Strategy.S}) and [Driver.run] executes it — serially when
+   [domains = 1], across OCaml domains otherwise — with checkpoint and
+   resume handled uniformly for every strategy whose frontier
+   serializes. *)
+
 type strategy =
   | Icb of { max_bound : int option; cache : bool }
   | Dfs of { cache : bool }
@@ -18,507 +27,86 @@ let strategy_name = function
   | Pct { change_points; _ } -> Printf.sprintf "pct:%d" change_points
   | Most_enabled _ -> "most-enabled"
 
-(* Execution accounting, crash containment and checkpoint write control
-   live in [Search_core], shared with the parallel executor. *)
-
-let finish = Search_core.finish
-let record_crash = Search_core.record_crash
-let step_guarded = Search_core.step_guarded
-let save_checkpoint = Search_core.save_checkpoint
-
-(* --- Algorithm 1: iterative context bounding -------------------------- *)
-
-let run_icb (type s) (module E : Engine.S with type state = s) col ~max_bound
-    ~cache ~ckpt ~resume =
-  let strategy =
-    strategy_name (Icb { max_bound; cache })
-  in
-  let work : (s * int) Queue.t = Queue.create () in
-  let next : (s * int) Queue.t = Queue.create () in
-  (* the paper's optional state-caching table, keyed on the work item *)
-  let table : (int64 * int, unit) Hashtbl.t = Hashtbl.create 4096 in
-  let seen st tid =
-    cache
-    &&
-    let k = (E.signature st, tid) in
-    Hashtbl.mem table k || (Hashtbl.add table k (); false)
-  in
-  let search item =
-    Search_core.icb_item
-      (module E)
-      col ~seen
-      ~defer:(fun st t -> Queue.add (st, t) next)
-      item
-  in
-  let bound = ref 0 in
-  (* Serialize the frontier as replayable schedule prefixes; [extra] holds
-     the work item being searched when a limit fired, re-queued so resume
-     loses nothing (it may re-complete a few executions — bug and state
-     deduplication make that harmless). *)
-  let frontier ?(extra = []) () =
-    let items q =
-      List.rev (Queue.fold (fun acc (st, t) -> (E.schedule st, t) :: acc) [] q)
-    in
-    Checkpoint.Icb_frontier
-      {
-        bound = !bound;
-        work = List.map (fun (st, t) -> (E.schedule st, t)) extra @ items work;
-        next = items next;
-        max_bound;
-        cache;
-        cache_keys =
-          (if cache then Hashtbl.fold (fun k () acc -> k :: acc) table []
-           else []);
-      }
-  in
-  let save ?extra () =
-    match ckpt with
-    | None -> ()
-    | Some ctl -> save_checkpoint col ctl ~strategy ~frontier:(frontier ?extra ())
-  in
-  let periodic () =
-    match ckpt with
-    | None -> ()
-    | Some ctl ->
-      if Collector.executions col - ctl.ck_last >= ctl.ck_every then
-        save_checkpoint col ctl ~strategy ~frontier:(frontier ())
-  in
-  let replay_item (sched, tid) =
-    let st =
-      try List.fold_left E.step (E.initial ()) sched
-      with exn ->
-        invalid_arg
-          (Printf.sprintf
-             "Explore.resume: a checkpointed schedule no longer replays \
-              (%s); the checkpoint belongs to a different or \
-              nondeterministic program"
-             (Printexc.to_string exn))
-    in
-    (st, tid)
-  in
-  (match resume with
-  | Some
-      (Checkpoint.Icb_frontier
-         { bound = b; work = w; next = n; cache_keys; _ }) ->
-    bound := b;
-    List.iter (fun it -> Queue.add (replay_item it) work) w;
-    List.iter (fun it -> Queue.add (replay_item it) next) n;
-    if cache then List.iter (fun k -> Hashtbl.replace table k ()) cache_keys
-  | Some (Checkpoint.Random_frontier _) ->
-    invalid_arg "Explore.resume: checkpoint was written by a random walk"
-  | None -> (
-    let s0 = E.initial () in
-    Collector.touch col (E.signature s0);
-    match E.status s0 with
-    | Engine.Running ->
-      List.iter (fun t -> Queue.add (s0, t) work) (E.enabled s0)
-    | status -> finish (module E) col s0 status));
-  Collector.note_bound col !bound;
-  if Queue.is_empty work && Queue.is_empty next then
-    (* either a trivial program or a resumed checkpoint of a finished
-       search: the space is exhausted *)
-    Collector.set_complete col
-  else begin
-    let continue = ref true in
-    while !continue do
-      while not (Queue.is_empty work) do
-        let item = Queue.pop work in
-        (try search item
-         with Collector.Stop ->
-           save ~extra:[ item ] ();
-           raise Collector.Stop);
-        periodic ()
-      done;
-      Collector.record_bound col !bound;
-      if Queue.is_empty next then begin
-        Collector.set_complete col;
-        continue := false
-      end
-      else begin
-        match max_bound with
-        | Some b when !bound >= b ->
-          (* every execution with <= b preemptions has been explored *)
-          continue := false
-        | Some _ | None ->
-          incr bound;
-          Collector.note_bound col !bound;
-          Queue.transfer next work
-      end
-    done;
-    (* final save: lets a later resume pick up where a max_bound run left
-       off, and records completion *)
-    save ()
-  end
-
-(* --- depth-first search ----------------------------------------------- *)
-
-let run_dfs (type s) (module E : Engine.S with type state = s) col ~bound
-    ~cache ~table =
-  let seen st =
-    cache
-    &&
-    let k = E.signature st in
-    Hashtbl.mem table k || (Hashtbl.add table k (); false)
-  in
-  let truncated = ref 0 in
-  let rec dfs st =
-    match E.status st with
-    | Engine.Running ->
-      if (match bound with Some b -> E.depth st >= b | None -> false) then begin
-        incr truncated;
-        finish (module E) col st Engine.Running
-      end
-      else
-        List.iter
-          (fun t ->
-            match step_guarded (module E) col st t with
-            | None -> ()
-            | Some st' ->
-              Collector.touch col (E.signature st');
-              if not (seen st') then dfs st')
-          (E.enabled st)
-    | status -> finish (module E) col st status
-  in
-  let s0 = E.initial () in
-  Collector.touch col (E.signature s0);
-  if not (seen s0) then dfs s0;
-  !truncated
-
-(* --- depth-first search with sleep sets --------------------------------- *)
-
-(* Godefroid's sleep sets over dynamic footprints: after fully exploring a
-   sibling transition t, later siblings carry t in their sleep set and skip
-   it until some dependent step wakes it.  Because the footprints are
-   computed by speculative execution at the very state where the sleeping
-   step would run, disjointness implies true commutation there (a step
-   whose variables the other step does not touch reads the same values and
-   takes the same path in either order).  Sleep sets prune redundant
-   interleavings only, so the set of reachable states is preserved — a
-   property the test suite checks against plain DFS. *)
-let run_sleep_dfs (type s) (module E : Engine.S with type state = s) col =
-  let rec dfs st (sleep : (int * Engine.Footprint.t) list) =
-    match E.status st with
-    | Engine.Running ->
-      let explored = ref [] in
-      List.iter
-        (fun t ->
-          if not (List.mem_assoc t sleep) then begin
-            match E.step_footprint st t with
-            | exception Collector.Stop -> raise Collector.Stop
-            | exception exn -> record_crash (module E) col st t exn
-            | fp -> (
-              match step_guarded (module E) col st t with
-              | None -> ()
-              | Some st' ->
-                Collector.touch col (E.signature st');
-                let sleep' =
-                  List.filter
-                    (fun (_, fp_u) -> Engine.Footprint.independent fp fp_u)
-                    (sleep @ !explored)
-                in
-                dfs st' sleep';
-                explored := (t, fp) :: !explored)
-          end)
-        (E.enabled st)
-    | status -> finish (module E) col st status
-  in
-  let s0 = E.initial () in
-  Collector.touch col (E.signature s0);
-  dfs s0 []
-
-(* --- PCT: probabilistic concurrency testing ------------------------------ *)
-
-(* Burckhardt, Kothari, Musuvathi, Nagarakatte (ASPLOS 2010), the
-   randomized successor of iterative context bounding from the same group:
-   each execution runs threads by randomly assigned priorities, lowering
-   the running thread's priority at [change_points - 1] uniformly chosen
-   steps.  Any bug of preemption depth d is found with probability at
-   least 1/(n * k^(d-1)) per execution. *)
-let run_pct (type s) (module E : Engine.S with type state = s) col
-    ~change_points ~seed =
-  let rng = Icb_util.Rng.create seed in
-  let k_estimate = ref 32 in
-  let hard_cap = 1_000_000 in
-  for _ = 1 to hard_cap do
-    let priorities : (int, int) Hashtbl.t = Hashtbl.create 8 in
-    (* initial and spawned threads draw a random high priority; change
-       points later demote to the low band 1..d-1 *)
-    let d = max 1 change_points in
-    let priority_of t =
-      match Hashtbl.find_opt priorities t with
-      | Some p -> p
-      | None ->
-        let p = d + Icb_util.Rng.int rng 1000 in
-        Hashtbl.add priorities t p;
-        p
-    in
-    let change_steps =
-      List.init (d - 1) (fun i ->
-          (i + 1, 1 + Icb_util.Rng.int rng (max 1 !k_estimate)))
-    in
-    let st = ref (E.initial ()) in
-    Collector.touch col (E.signature !st);
-    let steps = ref 0 in
-    let rec walk () =
-      match E.status !st with
-      | Engine.Running -> (
-        let en = E.enabled !st in
-        let t =
-          List.fold_left
-            (fun best t ->
-              match best with
-              | None -> Some t
-              | Some b -> if priority_of t > priority_of b then Some t else best)
-            None en
-          |> Option.get
-        in
-        incr steps;
-        List.iter
-          (fun (low, at) ->
-            if at = !steps then Hashtbl.replace priorities t low)
-          change_steps;
-        match step_guarded (module E) col !st t with
-        | None -> ()  (* crash recorded; this execution is over *)
-        | Some st' ->
-          st := st';
-          Collector.touch col (E.signature !st);
-          walk ())
-      | status -> finish (module E) col !st status
-    in
-    walk ();
-    k_estimate := max !k_estimate (E.depth !st)
-  done
-
-(* --- best-first search by enabled-thread count --------------------------- *)
-
-(* Groce & Visser's structural heuristic (ISSTA 2002), cited by the paper
-   as prior heuristic search: prefer frontier states with more enabled
-   threads.  Implemented as best-first with a bucket queue (enabled counts
-   are small). *)
-let run_most_enabled (type s) (module E : Engine.S with type state = s) col
-    ~cache =
-  let table = Hashtbl.create 4096 in
-  let seen st =
-    cache
-    &&
-    let k = E.signature st in
-    Hashtbl.mem table k || (Hashtbl.add table k (); false)
-  in
-  let buckets : (int, s Queue.t) Hashtbl.t = Hashtbl.create 8 in
-  let max_bucket = ref 0 in
-  let push st =
-    let n = List.length (E.enabled st) in
-    let q =
-      match Hashtbl.find_opt buckets n with
-      | Some q -> q
-      | None ->
-        let q = Queue.create () in
-        Hashtbl.add buckets n q;
-        q
-    in
-    Queue.add st q;
-    max_bucket := max !max_bucket n
-  in
-  let rec pop () =
-    let rec from n =
-      if n < 0 then None
-      else
-        match Hashtbl.find_opt buckets n with
-        | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
-        | Some _ | None -> from (n - 1)
-    in
-    match from !max_bucket with
-    | Some st -> Some st
-    | None -> ignore pop; None
-  in
-  let s0 = E.initial () in
-  Collector.touch col (E.signature s0);
-  if not (seen s0) then push s0;
-  let rec loop () =
-    match pop () with
-    | None -> Collector.set_complete col
-    | Some st ->
-      (match E.status st with
-      | Engine.Running ->
-        List.iter
-          (fun t ->
-            match step_guarded (module E) col st t with
-            | None -> ()
-            | Some st' ->
-              Collector.touch col (E.signature st');
-              if not (seen st') then push st')
-          (E.enabled st)
-      | status -> finish (module E) col st status);
-      loop ()
-  in
-  loop ()
-
-(* --- random walk ------------------------------------------------------- *)
-
-let run_random (type s) (module E : Engine.S with type state = s) col ~seed
-    ~ckpt ~resume =
-  let rng =
-    match resume with
-    | Some (Checkpoint.Random_frontier { rng_state; _ }) ->
-      Icb_util.Rng.of_state rng_state
-    | Some (Checkpoint.Icb_frontier _) ->
-      invalid_arg "Explore.resume: checkpoint was written by an ICB search"
-    | None -> Icb_util.Rng.create seed
-  in
-  let strategy = strategy_name (Random_walk { seed }) in
-  let frontier () =
-    Checkpoint.Random_frontier { seed; rng_state = Icb_util.Rng.state rng }
-  in
-  let save () =
-    match ckpt with
-    | None -> ()
-    | Some ctl -> save_checkpoint col ctl ~strategy ~frontier:(frontier ())
-  in
-  (* without an execution or step limit a random walk never stops; the
-     caller's options must bound it, but guard against looping forever on a
-     misconfiguration by capping at a large default *)
-  let hard_cap = 1_000_000 in
-  (try
-     while Collector.executions col < hard_cap do
-       let st = ref (E.initial ()) in
-       Collector.touch col (E.signature !st);
-       let rec walk () =
-         match E.status !st with
-         | Engine.Running -> (
-           let t = Icb_util.Rng.pick rng (E.enabled !st) in
-           match step_guarded (module E) col !st t with
-           | None -> ()
-           | Some st' ->
-             st := st';
-             Collector.touch col (E.signature !st);
-             walk ())
-         | status -> finish (module E) col !st status
-       in
-       walk ();
-       (match ckpt with
-       | None -> ()
-       | Some ctl ->
-         if Collector.executions col - ctl.ck_last >= ctl.ck_every then
-           save_checkpoint col ctl ~strategy ~frontier:(frontier ()))
-     done
-   with Collector.Stop ->
-     save ();
-     raise Collector.Stop);
-  save ()
-
-(* --- driver ------------------------------------------------------------ *)
+(* Strategy instances are single-use (they hold the run's round state), so
+   one is built per [run] call. *)
+let instantiate (type s) (module E : Engine.S with type state = s) strategy :
+    (module Strategy.S with type state = s) =
+  match strategy with
+  | Icb { max_bound; cache } -> Strategies.icb (module E) ~max_bound ~cache
+  | Dfs { cache } -> Strategies.dfs (module E) ~cache
+  | Bounded_dfs { depth; cache } ->
+    Strategies.bounded_dfs (module E) ~depth ~cache
+  | Iterative_dfs { start; incr; max_depth; cache } ->
+    Strategies.iterative_dfs (module E) ~start ~incr ~max_depth ~cache
+  | Random_walk { seed } -> Strategies.random_walk (module E) ~seed
+  | Sleep_dfs -> Strategies.sleep_dfs (module E)
+  | Pct { change_points; seed } ->
+    Strategies.pct (module E) ~change_points ~seed
+  | Most_enabled { cache } -> Strategies.most_enabled (module E) ~cache
 
 let default_checkpoint_every = Search_core.default_checkpoint_every
 
-let run_serial (type s) (module E : Engine.S with type state = s)
-    ?(options = Collector.default_options) ?checkpoint_out
-    ?(checkpoint_every = default_checkpoint_every)
-    ?(checkpoint_meta = []) ?resume_from strategy =
-  let col =
-    match resume_from with
-    | None -> Collector.create options
-    | Some (c : Checkpoint.t) -> Collector.restore options c.collector
-  in
-  let ckpt =
-    Option.map
-      (fun path ->
-        {
-          Search_core.ck_path = path;
-          ck_every = max 1 checkpoint_every;
-          ck_meta = checkpoint_meta;
-          ck_last = Collector.executions col;
-        })
-      checkpoint_out
-  in
-  let resume = Option.map (fun (c : Checkpoint.t) -> c.frontier) resume_from in
-  let reject_checkpointing () =
-    if ckpt <> None || resume <> None then
-      invalid_arg
-        (Printf.sprintf
-           "Explore.run: strategy %s does not support checkpoint/resume \
-            (supported: icb, random)"
-           (strategy_name strategy))
-  in
-  (try
-     match strategy with
-     | Icb { max_bound; cache } ->
-       run_icb (module E) col ~max_bound ~cache ~ckpt ~resume
-     | Random_walk { seed } -> run_random (module E) col ~seed ~ckpt ~resume
-     | Dfs { cache } ->
-       reject_checkpointing ();
-       let table = Hashtbl.create 4096 in
-       let truncated = run_dfs (module E) col ~bound:None ~cache ~table in
-       if truncated = 0 then Collector.set_complete col
-     | Bounded_dfs { depth; cache } ->
-       reject_checkpointing ();
-       let table = Hashtbl.create 4096 in
-       let truncated =
-         run_dfs (module E) col ~bound:(Some depth) ~cache ~table
-       in
-       if truncated = 0 then Collector.set_complete col
-     | Iterative_dfs { start; incr = inc; max_depth; cache } ->
-       reject_checkpointing ();
-       let d = ref start in
-       let stop = ref false in
-       while (not !stop) && !d <= max_depth do
-         (* each round gets a fresh cache: a state first reached at depth
-            d-1 may have unexplored descendants below the deeper bound *)
-         let table = Hashtbl.create 4096 in
-         let truncated =
-           run_dfs (module E) col ~bound:(Some !d) ~cache ~table
-         in
-         if truncated = 0 then begin
-           Collector.set_complete col;
-           stop := true
-         end
-         else d := !d + inc
-       done
-     | Sleep_dfs ->
-       reject_checkpointing ();
-       run_sleep_dfs (module E) col;
-       Collector.set_complete col
-     | Pct { change_points; seed } ->
-       reject_checkpointing ();
-       run_pct (module E) col ~change_points ~seed
-     | Most_enabled { cache } ->
-       reject_checkpointing ();
-       run_most_enabled (module E) col ~cache
-   with Collector.Stop -> ());
-  Collector.result col ~strategy:(strategy_name strategy)
-
-(* [~domains] hands ICB searches to the parallel executor.  The single
-   engine module is shared by every worker, which is safe for modules
-   without module-level mutable state (the machine engine; the CHESS
-   engine's only module-level mutable is a stats counter).  States are
-   never shared across domains on this path — workers replay schedule
-   prefixes on their own states — so engines with domain-bound state
-   internals still work. *)
+(* The single engine module is shared by every worker when [domains > 1],
+   which is safe for modules without module-level mutable state (the
+   machine engine; the CHESS engine's only module-level mutable is a
+   stats counter).  States are never shared across domains on this path —
+   workers replay schedule prefixes on their own states — so engines with
+   domain-bound state internals still work. *)
 let run (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
     ?(domains = 1) strategy =
-  if domains > 1 then
-    match strategy with
-    | Icb { max_bound; cache } ->
-      Parallel.run
-        (fun _ -> (module E : Engine.S with type state = s))
-        ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-        ?resume_from ~share_states:false ~domains ~max_bound ~cache ()
-    | _ ->
-      invalid_arg
-        (Printf.sprintf
-           "Explore.run: ~domains:%d applies only to the Icb strategy (got \
-            %s)"
-           domains (strategy_name strategy))
-  else
-    run_serial
-      (module E)
-      ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-      strategy
+  Driver.run
+    (fun _ -> (module E : Engine.S with type state = s))
+    ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
+    ~domains
+    (instantiate (module E) strategy)
 
 let strategy_of_checkpoint (c : Checkpoint.t) =
-  match c.frontier with
-  | Checkpoint.Icb_frontier { max_bound; cache; _ } -> Icb { max_bound; cache }
-  | Checkpoint.Random_frontier { seed; _ } -> Random_walk { seed }
+  let f = Checkpoint.to_v3 c in
+  let p = f.Checkpoint.v3_params in
+  let int_p key ~default =
+    match List.assoc_opt key p with
+    | Some s -> ( try int_of_string s with Failure _ -> default)
+    | None -> default
+  in
+  let bool_p key =
+    match List.assoc_opt key p with Some "true" -> true | _ -> false
+  in
+  let i64_p key ~default =
+    match List.assoc_opt key p with
+    | Some s -> ( try Int64.of_string s with Failure _ -> default)
+    | None -> default
+  in
+  match f.Checkpoint.v3_tag with
+  | "icb" ->
+    Icb
+      {
+        max_bound =
+          Option.map int_of_string (List.assoc_opt "max_bound" p);
+        cache = bool_p "cache";
+      }
+  | "dfs" -> Dfs { cache = bool_p "cache" }
+  | "db" -> Bounded_dfs { depth = int_p "depth" ~default:1; cache = bool_p "cache" }
+  | "idfs" ->
+    Iterative_dfs
+      {
+        start = int_p "start" ~default:1;
+        incr = int_p "incr" ~default:1;
+        max_depth = int_p "max_depth" ~default:1;
+        cache = bool_p "cache";
+      }
+  | "random" -> Random_walk { seed = i64_p "seed" ~default:2007L }
+  | "pct" ->
+    Pct
+      {
+        change_points = int_p "change_points" ~default:2;
+        seed = i64_p "seed" ~default:2007L;
+      }
+  | "most-enabled" -> Most_enabled { cache = bool_p "cache" }
+  | tag ->
+    invalid_arg
+      (Printf.sprintf
+         "Explore.strategy_of_checkpoint: unknown strategy tag %S" tag)
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?domains
@@ -546,6 +134,6 @@ let replay (type s) (module E : Engine.S with type state = s) schedule =
       if not (List.mem tid (E.enabled st)) then
         invalid_arg
           (Printf.sprintf "Explore.replay: thread %d not enabled at step %d"
-             tid (E.depth st));
-      E.step st tid)
+             tid (E.depth st))
+      else E.step st tid)
     (E.initial ()) schedule

@@ -15,14 +15,17 @@
     {!Sresult.bug} carrying the provoking schedule prefix; the search
     continues on the remaining branches.
 
-    The {!Icb} and {!Random_walk} strategies additionally support
+    Every strategy except {!Sleep_dfs} additionally supports
     checkpoint/resume: pass [?checkpoint_out] to {!run} and the frontier
-    (work queues as replayable schedule prefixes, context bound, RNG
-    state) plus all coverage counters are written atomically every
-    [?checkpoint_every] executions and whenever a limit stops the search;
-    {!resume} continues from a loaded {!Checkpoint.t}, reaching the same
-    bug set an uninterrupted run would.  Requesting checkpointing for any
-    other strategy raises [Invalid_argument]. *)
+    (work items as replayable schedule prefixes, the strategy's round
+    counter and parameters) plus all coverage counters are written
+    atomically every [?checkpoint_every] executions and whenever a limit
+    stops the search; {!resume} continues from a loaded {!Checkpoint.t},
+    reaching the same bug set an uninterrupted run would.  Requesting
+    checkpointing for {!Sleep_dfs} raises [Invalid_argument].
+
+    Each strategy variant selects a {!Strategies} instance (a first-class
+    module of type {!Strategy.S}); {!Driver.run} executes it. *)
 
 type strategy =
   | Icb of { max_bound : int option; cache : bool }
@@ -65,16 +68,18 @@ val run :
     Never raises on limit exhaustion — limits simply yield a result with
     [complete = false] and a [stop_reason].
 
-    [domains] (default 1) runs an {!Icb} search on that many OCaml
-    domains via {!Parallel.run}, sharing this engine module across
-    workers (states never cross domains on this path; each worker replays
+    [domains] (default 1) shards the search across that many OCaml
+    domains via {!Driver.run}, sharing this engine module across workers
+    (states never cross domains on this path; each worker replays
     schedule prefixes on its own states).  The result is deterministic
-    and matches the serial search — see {!Parallel} for the exact
-    guarantees and the [cache] caveat.  Raises [Invalid_argument] when
-    [domains > 1] is combined with any other strategy.
+    and matches the serial search — see docs/PARALLEL.md for the exact
+    guarantees and the [cache] caveat.  Every strategy whose frontier
+    shards accepts [domains > 1]: {!Icb}, the DFS family, {!Random_walk}
+    and {!Pct}; {!Sleep_dfs} and {!Most_enabled} raise
+    [Invalid_argument].
 
-    [checkpoint_out] (ICB and random walk only) writes a checkpoint to
-    that path every [checkpoint_every] (default
+    [checkpoint_out] (every strategy but {!Sleep_dfs}) writes a
+    checkpoint to that path every [checkpoint_every] (default
     {!default_checkpoint_every}) executions, when any limit stops the
     search, and at the end of the run; [checkpoint_meta] is stored
     verbatim for the caller (the CLI records program provenance there).

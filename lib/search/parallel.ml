@@ -1,543 +1,15 @@
-(* Parallel iterative context bounding across OCaml domains.
-
-   The unit of work is the same as a serial ICB checkpoint entry: a
-   replayable schedule prefix plus the thread to run next.  Each context
-   bound's queue is sharded round-robin over [domains] workers, each with
-   its own engine instance, collector and work-stealing deque; a worker
-   that drains its deque steals from a random victim.  Within a bound a
-   work item only ever defers new items to the *next* bound (Algorithm 1),
-   so the current bound's deques strictly shrink — termination of a bound
-   is simply "every deque is empty".
-
-   Determinism: the merged result is independent of worker timing.  At the
-   per-bound barrier the coordinator folds per-worker statistics with
-   commutative operations (set union, saturating sums, maxima), absorbs
-   bug candidates in sorted order (preemptions, schedule, key) with their
-   [execution] stamp forged to the bound's cumulative execution count, and
-   sorts the next bound's frontier by (schedule, tid).  Together with the
-   fact that each item's subtree depends only on the item itself, two runs
-   with any worker counts — including one — produce the same bug set,
-   per-bound execution counts, distinct-state count and step totals as the
-   serial driver (the equivalence suite in test/test_parallel.ml checks
-   this against [Explore.run]).
-
-   Stopping is cooperative and item-granular: workers never raise
-   [Collector.Stop] (their collectors carry no limits); global limits, the
-   deadline and stop-at-first-bug are enforced by a per-execution progress
-   hook that sets an atomic stop flag, and workers finish their in-flight
-   item before exiting.  A checkpoint written on stop therefore contains
-   exactly the unprocessed items — resuming never re-explores a schedule,
-   unlike the serial driver's conservative re-queue of the interrupted
-   item.
-
-   Mid-bound periodic checkpoints use a pause protocol: when enough
-   executions have accumulated a worker requests a pause, every live
-   worker parks at its next item boundary, and the last one to park (or
-   exit) assembles the checkpoint from the master snapshot, the parked
-   workers' collectors and the deques' remaining items, then resumes
-   everyone.  Parking at item boundaries keeps the no-duplicate resume
-   guarantee. *)
-
-type 's work = {
-  w_sched : int list;   (* replayable schedule prefix *)
-  w_tid : int;          (* thread to run from the replayed state *)
-  w_state : 's option;  (* fast path: the replayed state itself, when the
-                           engine's states may cross domains *)
-}
-
-let with_lock m f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-    Mutex.unlock m;
-    v
-  | exception e ->
-    Mutex.unlock m;
-    raise e
-
-(* A mutex-protected deque: the owner pops from the front, thieves steal
-   from the back.  Contention is per-item and items are whole subtrees, so
-   a lock-free structure would buy nothing here. *)
-module Dq = struct
-  type 'a t = {
-    m : Mutex.t;
-    mutable front : 'a list;          (* head = next item for the owner *)
-    mutable back : 'a list;           (* head = next item for a thief *)
-  }
-
-  let create () = { m = Mutex.create (); front = []; back = [] }
-
-  let clear q =
-    with_lock q.m (fun () ->
-        q.front <- [];
-        q.back <- [])
-
-  let push_back q x = with_lock q.m (fun () -> q.back <- x :: q.back)
-
-  let pop q =
-    with_lock q.m (fun () ->
-        match q.front with
-        | x :: rest ->
-          q.front <- rest;
-          Some x
-        | [] -> (
-          match List.rev q.back with
-          | [] -> None
-          | x :: rest ->
-            q.front <- rest;
-            q.back <- [];
-            Some x))
-
-  let steal q =
-    with_lock q.m (fun () ->
-        match q.back with
-        | x :: rest ->
-          q.back <- rest;
-          Some x
-        | [] -> (
-          match List.rev q.front with
-          | [] -> None
-          | x :: rest ->
-            q.front <- [];
-            q.back <- rest;
-            Some x))
-
-  (* Non-destructive read, for checkpoint assembly while workers are
-     parked. *)
-  let snapshot q = with_lock q.m (fun () -> q.front @ List.rev q.back)
-end
+(* Parallel iterative context bounding across OCaml domains — kept as the
+   ICB-shaped entry point.  The executor itself (work-stealing deques,
+   deterministic barrier merge, cooperative stopping, the mid-round pause
+   protocol for checkpoints) lives in [Driver], generalized over
+   [Strategy.S]; this wrapper instantiates the ICB strategy and
+   delegates.  [engines 0] is additionally used as the strategy's type
+   witness, so the factory is called once more than there are domains. *)
 
 let run (type s) (engines : int -> (module Engine.S with type state = s))
-    ?(options = Collector.default_options) ?checkpoint_out
-    ?(checkpoint_every = Search_core.default_checkpoint_every)
-    ?(checkpoint_meta = []) ?resume_from ?(share_states = false) ~domains
-    ~max_bound ~cache () : Sresult.t =
-  if domains < 1 then invalid_arg "Parallel.run: domains must be at least 1";
-  let strategy = Search_core.icb_strategy_name ~max_bound in
-  let master =
-    match resume_from with
-    | None -> Collector.create options
-    | Some (c : Checkpoint.t) -> Collector.restore options c.collector
-  in
-  let ckpt =
-    Option.map
-      (fun path ->
-        {
-          Search_core.ck_path = path;
-          ck_every = max 1 checkpoint_every;
-          ck_meta = checkpoint_meta;
-          ck_last = Collector.executions master;
-        })
-      checkpoint_out
-  in
-  (* Local collectors carry no limits and never raise [Collector.Stop]:
-     stopping is decided globally by the progress hook below and honoured
-     by workers at item boundaries.  Semantic options (deadlock_is_error,
-     terminal_states_only) are kept. *)
-  let stripped =
-    {
-      options with
-      Collector.max_executions = None;
-      max_states = None;
-      max_total_steps = None;
-      deadline = None;
-      stop_at_first_bug = false;
-      on_progress = None;
-    }
-  in
-  (* Engine instances are created sequentially here, before any domain
-     exists, and each is thereafter used by a single worker at a time. *)
-  let engs = Array.init domains engines in
-  let deques : s work Dq.t array = Array.init domains (fun _ -> Dq.create ()) in
-  (* The optional state cache, per worker: each table prunes only the
-     subtrees its own worker revisits, so caching stays sound (a cached
-     (signature, tid) pair was fully explored by that same worker) but a
-     parallel cached run may explore more executions than a serial one. *)
-  let tables : (int64 * int, unit) Hashtbl.t array =
-    Array.init domains (fun _ -> Hashtbl.create 4096)
-  in
-  let rngs =
-    let base = Icb_util.Rng.create 0x1CBD0E5L in
-    Array.init domains (fun _ -> Icb_util.Rng.split base)
-  in
-  let stop : Sresult.stop_reason option Atomic.t = Atomic.make None in
-  let failed : exn option Atomic.t = Atomic.make None in
-  let request_stop r = ignore (Atomic.compare_and_set stop None (Some r)) in
-  (* Per-bound global counters for limit enforcement and user progress;
-     states and steps are sums of per-worker increments, so the state
-     count over-approximates the distinct total (duplicates across
-     workers) — the exact union is computed at the barrier. *)
-  let g_execs = Atomic.make 0
-  and g_states = Atomic.make 0
-  and g_steps = Atomic.make 0
-  and g_bugs = Atomic.make 0 in
-  (* Pause/checkpoint protocol state; [parked] and [running] are guarded
-     by [pm]. *)
-  let pause = Atomic.make false in
-  let pm = Mutex.create () in
-  let pc = Condition.create () in
-  let parked = ref 0 in
-  let running = ref 0 in
-  let user_cb_m = Mutex.create () in
-  (* Per-bound context, published to workers before each spawn (and read
-     back after join, or under [pm] during checkpoint assembly). *)
-  let cur_bound = ref 0 in
-  let cur_lcols : Collector.t array ref = ref [||] in
-  let cur_nexts : s work list ref array ref = ref [||] in
-  let cur_carry : (int list * int) list ref = ref [] in
-  let master_snap = ref (Collector.snapshot master) in
-  let cmp_work a b = compare (a.w_sched, a.w_tid) (b.w_sched, b.w_tid) in
-  let sorted_works ws = List.sort cmp_work ws in
-  let strip ws = List.map (fun w -> (w.w_sched, w.w_tid)) ws in
-  let of_prefix (sched, tid) = { w_sched = sched; w_tid = tid; w_state = None } in
-  (* Deterministic bug merge: sort candidates so the surviving
-     representative of each key is independent of which worker found it
-     first, and forge the discovery stamp to the cumulative execution
-     count at the merge point. *)
-  let absorb_bugs col candidates =
-    let candidates =
-      List.sort
-        (fun (a : Sresult.bug) (b : Sresult.bug) ->
-          compare (a.preemptions, a.schedule, a.key)
-            (b.preemptions, b.schedule, b.key))
-        candidates
-    in
-    let stamp = Collector.executions col in
-    List.iter
-      (fun (b : Sresult.bug) ->
-        if not (Collector.has_bug col b.Sresult.key) then
-          Collector.absorb_bug col { b with Sresult.execution = stamp })
-      candidates
-  in
-  let remaining_items () =
-    Array.fold_left (fun acc q -> acc @ Dq.snapshot q) [] deques
-  in
-  let deferred_items () =
-    Array.fold_left (fun acc r -> acc @ !r) [] !cur_nexts
-  in
-  let save_with col ~work ~next =
-    match ckpt with
-    | None -> ()
-    | Some ctl ->
-      Search_core.save_checkpoint col ctl ~strategy
-        ~frontier:
-          (Checkpoint.Icb_frontier
-             {
-               bound = !cur_bound;
-               work;
-               next;
-               max_bound;
-               cache;
-               (* per-worker caches are not checkpointed: a resume starts
-                  them empty and merely re-explores a little more *)
-               cache_keys = [];
-             })
-  in
-  (* Mid-bound checkpoint, run by the last worker to park (all other live
-     workers are blocked on [pc], so their collectors, next-lists and
-     deques are quiescent; the mutex hand-offs make their writes
-     visible). *)
-  let assemble_and_save () =
-    match ckpt with
-    | None -> ()
-    | Some _ ->
-      let scratch = Collector.restore stripped !master_snap in
-      let candidates = ref [] in
-      Array.iter
-        (fun lcol ->
-          let sn = Collector.snapshot lcol in
-          Collector.merge_stats scratch sn;
-          candidates := Collector.snapshot_bugs sn @ !candidates)
-        !cur_lcols;
-      absorb_bugs scratch !candidates;
-      let work = strip (sorted_works (remaining_items ())) in
-      let next =
-        strip
-          (sorted_works
-             (List.map of_prefix !cur_carry @ deferred_items ()))
-      in
-      save_with scratch ~work ~next
-  in
-  let park () =
-    with_lock pm (fun () ->
-        if Atomic.get pause then begin
-          incr parked;
-          if !parked = !running then begin
-            assemble_and_save ();
-            Atomic.set pause false;
-            Condition.broadcast pc
-          end
-          else
-            while Atomic.get pause do
-              Condition.wait pc pm
-            done;
-          decr parked
-        end)
-  in
-  (* A worker that runs out of work may be the one whose parking the
-     others are waiting for; complete the quorum on the way out. *)
-  let retire () =
-    with_lock pm (fun () ->
-        decr running;
-        if Atomic.get pause && !parked = !running then begin
-          assemble_and_save ();
-          Atomic.set pause false;
-          Condition.broadcast pc
-        end)
-  in
-  let maybe_request_ckpt () =
-    match ckpt with
-    | None -> ()
-    | Some ctl ->
-      let total =
-        Collector.snapshot_executions !master_snap + Atomic.get g_execs
-      in
-      if total - ctl.ck_last >= ctl.ck_every then
-        with_lock pm (fun () ->
-            (* only between rounds: [parked] must have drained *)
-            if (not (Atomic.get pause)) && !parked = 0 then
-              Atomic.set pause true)
-  in
-  (* The per-execution hook installed in every worker's collector: bump
-     the global counters, enforce the caller's limits by setting the stop
-     flag, and relay aggregated progress to the caller's own hook. *)
-  let mk_hook cell ~base_execs ~base_states ~base_steps ~base_bugs =
-    let prev_states = ref 0 and prev_steps = ref 0 and prev_bugs = ref 0 in
-    fun (p : Collector.progress) ->
-      let lcol = Option.get !cell in
-      let execs = 1 + Atomic.fetch_and_add g_execs 1 in
-      let ds = p.Collector.p_states - !prev_states in
-      prev_states := p.Collector.p_states;
-      let states = ds + Atomic.fetch_and_add g_states ds in
-      let steps_now = Collector.total_steps lcol in
-      let dst = steps_now - !prev_steps in
-      prev_steps := steps_now;
-      let steps = dst + Atomic.fetch_and_add g_steps dst in
-      let db = p.Collector.p_bugs - !prev_bugs in
-      prev_bugs := p.Collector.p_bugs;
-      let bugs = db + Atomic.fetch_and_add g_bugs db in
-      let total_execs = base_execs + execs in
-      (match options.Collector.max_executions with
-      | Some l when total_execs >= l -> request_stop Sresult.Execution_limit
-      | Some _ | None -> ());
-      (match options.Collector.max_states with
-      | Some l when base_states + states >= l ->
-        request_stop Sresult.State_limit
-      | Some _ | None -> ());
-      (match options.Collector.max_total_steps with
-      | Some l when base_steps + steps >= l -> request_stop Sresult.Step_limit
-      | Some _ | None -> ());
-      (match options.Collector.deadline with
-      | Some d when Unix.gettimeofday () >= d ->
-        request_stop Sresult.Deadline_exceeded
-      | Some _ | None -> ());
-      if options.Collector.stop_at_first_bug && base_bugs + bugs > 0 then
-        request_stop Sresult.First_bug;
-      match options.Collector.on_progress with
-      | None -> ()
-      | Some f ->
-        with_lock user_cb_m (fun () ->
-            f
-              {
-                Collector.p_executions = total_execs;
-                p_states = base_states + states;
-                p_bugs = base_bugs + bugs;
-                p_elapsed = Collector.elapsed master;
-                p_bound = Some !cur_bound;
-              })
-  in
-  let worker i () =
-    let (module E : Engine.S with type state = s) = engs.(i) in
-    let lcol = !cur_lcols.(i) in
-    let next = !cur_nexts.(i) in
-    let table = tables.(i) in
-    let rng = rngs.(i) in
-    let seen st tid =
-      cache
-      &&
-      let k = (E.signature st, tid) in
-      Hashtbl.mem table k || (Hashtbl.add table k (); false)
-    in
-    let defer st t =
-      next :=
-        {
-          w_sched = E.schedule st;
-          w_tid = t;
-          w_state = (if share_states then Some st else None);
-        }
-        :: !next
-    in
-    let take () =
-      match Dq.pop deques.(i) with
-      | Some _ as r -> r
-      | None ->
-        if domains = 1 then None
-        else begin
-          let start = Icb_util.Rng.int rng domains in
-          let rec go k =
-            if k >= domains then None
-            else
-              let j = (start + k) mod domains in
-              if j = i then go (k + 1)
-              else
-                match Dq.steal deques.(j) with
-                | Some _ as r -> r
-                | None -> go (k + 1)
-          in
-          go 0
-        end
-    in
-    let process it =
-      let start =
-        match it.w_state with
-        | Some st -> Some st
-        | None ->
-          (* Replays never touch the collector: the prefix's states were
-             already counted by whoever deferred or checkpointed this
-             item.  A prefix that no longer replays means the program is
-             nondeterministic (or the checkpoint is foreign); contain it
-             as a replayable bug, like any other engine crash. *)
-          let rec go st = function
-            | [] -> Some st
-            | t :: rest -> (
-              match E.step st t with
-              | st' -> go st' rest
-              | exception exn ->
-                Search_core.record_crash (module E) lcol st t exn;
-                None)
-          in
-          go (E.initial ()) it.w_sched
-      in
-      match start with
-      | None -> ()
-      | Some st ->
-        Search_core.icb_item (module E) lcol ~seen ~defer (st, it.w_tid)
-    in
-    let rec loop () =
-      if Atomic.get stop <> None || Atomic.get failed <> None then ()
-      else begin
-        if Atomic.get pause then park ();
-        match take () with
-        | None -> ()
-        | Some it ->
-          process it;
-          maybe_request_ckpt ();
-          loop ()
-      end
-    in
-    (try loop ()
-     with exn -> ignore (Atomic.compare_and_set failed None (Some exn)));
-    retire ()
-  in
-  (* Drain one context bound; returns the (sorted) next bound's items and
-     the stop flag as observed after the barrier. *)
-  let run_bound ~work ~carry =
-    Array.iter Dq.clear deques;
-    List.iteri (fun k it -> Dq.push_back deques.(k mod domains) it) work;
-    cur_carry := carry;
-    master_snap := Collector.snapshot master;
-    let base_execs = Collector.executions master in
-    let base_states = Collector.seen_states master in
-    let base_steps = Collector.total_steps master in
-    let base_bugs = Collector.bug_count master in
-    Atomic.set g_execs 0;
-    Atomic.set g_states 0;
-    Atomic.set g_steps 0;
-    Atomic.set g_bugs 0;
-    Atomic.set pause false;
-    parked := 0;
-    running := domains;
-    let lcols =
-      Array.init domains (fun _ ->
-          let cell = ref None in
-          let hook = mk_hook cell ~base_execs ~base_states ~base_steps ~base_bugs in
-          let c =
-            Collector.create { stripped with Collector.on_progress = Some hook }
-          in
-          cell := Some c;
-          c)
-    in
-    cur_lcols := lcols;
-    let nexts = Array.init domains (fun _ -> ref []) in
-    cur_nexts := nexts;
-    let doms = Array.init domains (fun i -> Domain.spawn (worker i)) in
-    Array.iter Domain.join doms;
-    (match Atomic.get failed with Some exn -> raise exn | None -> ());
-    (* the deterministic barrier merge *)
-    let candidates = ref [] in
-    Array.iter
-      (fun lcol ->
-        let sn = Collector.snapshot lcol in
-        Collector.merge_stats master sn;
-        candidates := Collector.snapshot_bugs sn @ !candidates)
-      lcols;
-    absorb_bugs master !candidates;
-    let next_items =
-      sorted_works
-        (List.map of_prefix carry
-        @ Array.fold_left (fun acc r -> acc @ !r) [] nexts)
-    in
-    (next_items, Atomic.get stop)
-  in
-  let rec drive work carry =
-    if work = [] && carry = [] then
-      (* a trivial program, or a resumed checkpoint of a finished search *)
-      Collector.set_complete master
-    else begin
-      Collector.note_bound master !cur_bound;
-      let next_items, stop_r = run_bound ~work:(sorted_works work) ~carry in
-      match stop_r with
-      | Some r ->
-        Collector.note_stop master r;
-        let remaining = strip (sorted_works (remaining_items ())) in
-        save_with master ~work:remaining ~next:(strip next_items)
-      | None -> (
-        Collector.mark_growth master;
-        Collector.record_bound master !cur_bound;
-        if next_items = [] then begin
-          Collector.set_complete master;
-          save_with master ~work:[] ~next:[]
-        end
-        else
-          match max_bound with
-          | Some b when !cur_bound >= b ->
-            (* every execution with <= b preemptions has been explored *)
-            save_with master ~work:[] ~next:(strip next_items)
-          | Some _ | None ->
-            incr cur_bound;
-            drive next_items [])
-    end
-  in
-  (try
-     match resume_from with
-     | Some
-         {
-           Checkpoint.frontier =
-             Checkpoint.Icb_frontier { bound; work; next; _ };
-           _;
-         } ->
-       cur_bound := bound;
-       drive (List.map of_prefix work) next
-     | Some { Checkpoint.frontier = Checkpoint.Random_frontier _; _ } ->
-       invalid_arg "Parallel.run: checkpoint was written by a random walk"
-     | None -> (
-       let (module E : Engine.S with type state = s) = engs.(0) in
-       let s0 = E.initial () in
-       Collector.touch master (E.signature s0);
-       match E.status s0 with
-       | Engine.Running ->
-         drive
-           (List.map
-              (fun t ->
-                {
-                  w_sched = [];
-                  w_tid = t;
-                  w_state = (if share_states then Some s0 else None);
-                })
-              (E.enabled s0))
-           []
-       | status ->
-         Search_core.finish (module E) master s0 status;
-         Collector.set_complete master)
-   with Collector.Stop -> ());
-  Collector.result master ~strategy
+    ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
+    ?share_states ~domains ~max_bound ~cache () : Sresult.t =
+  let (module E0 : Engine.S with type state = s) = engines 0 in
+  Driver.run engines ?options ?checkpoint_out ?checkpoint_every
+    ?checkpoint_meta ?resume_from ?share_states ~domains
+    (Strategies.icb (module E0) ~max_bound ~cache)

@@ -1,12 +1,17 @@
-(** Parallel iterative context bounding across OCaml domains.
+(** Parallel iterative context bounding across OCaml domains — the
+    ICB-shaped entry point over the generic executor.
 
-    Shards each context bound's work queue — replayable schedule prefixes,
-    the same representation checkpoints use — over a pool of worker
+    The executor itself lives in {!Driver}, generalized over
+    {!Strategy.S}; this wrapper instantiates the ICB strategy and
+    delegates, keeping the historical [Icb.run_parallel] signature.  Each
+    context bound's work queue — replayable schedule prefixes, the same
+    representation checkpoints use — is sharded over a pool of worker
     domains with work-stealing deques, merging per-worker statistics and
     bugs at a per-bound barrier.  The ICB invariant is preserved: bound
     [c] is fully drained before any bound [c+1] item runs, so the first
     bug found under [stop_at_first_bug] still carries a minimal preemption
-    count.
+    count.  (Other strategies shard the same way through
+    [Explore.run ?domains].)
 
     {2 Determinism}
 
@@ -69,4 +74,5 @@ val run :
     run — must leave it off and pay the replay.
 
     Raises [Invalid_argument] if [domains < 1] or [resume_from] holds a
-    random-walk frontier. *)
+    checkpoint written by a non-ICB strategy (resume those through
+    [Explore.resume], which re-derives the strategy from the file). *)

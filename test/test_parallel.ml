@@ -78,17 +78,19 @@ let equivalence_tests =
           check Alcotest.int "same minimal preemption count"
             s.Sresult.preemptions p.Sresult.preemptions
         | _ -> Alcotest.fail "both checkers must find the bug");
-    Alcotest.test_case "--jobs is refused for non-ICB strategies" `Quick
-      (fun () ->
-        match
-          Icb.run ~domains:2
-            ~strategy:(Explore.Dfs { cache = false })
-            (Icb_models.Bluetooth.program ~bug:false)
-        with
-        | exception Invalid_argument msg ->
-          check Alcotest.bool "non-empty diagnostic" true
-            (String.length msg > 0)
-        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "--jobs is refused for non-shardable strategies"
+      `Quick (fun () ->
+        List.iter
+          (fun strategy ->
+            match
+              Icb.run ~domains:2 ~strategy
+                (Icb_models.Bluetooth.program ~bug:false)
+            with
+            | exception Invalid_argument msg ->
+              check Alcotest.bool "non-empty diagnostic" true
+                (String.length msg > 0)
+            | _ -> Alcotest.fail "expected Invalid_argument")
+          [ Explore.Sleep_dfs; Explore.Most_enabled { cache = true } ]);
   ]
 
 (* --- determinism across identical parallel runs --------------------------- *)
