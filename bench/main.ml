@@ -14,15 +14,66 @@ module Collector = Icb_search.Collector
 module Sresult = Icb_search.Sresult
 module Mach_engine = Icb_search.Mach_engine
 module Registry = Icb_models.Registry
+module Json = Icb_obs.Json
+
+(* --- machine-readable results -------------------------------------------- *)
+
+(* Every experiment also writes BENCH_<name>.json (into $BENCH_OUT_DIR,
+   default the working directory): the experiment name, its wall time,
+   and every table it printed keyed by the heading it appeared under —
+   so CI can archive and diff runs without scraping the text output. *)
+
+let bench_data : (string * Json.t) list ref = ref []
+let last_heading = ref ""
+
+let record key j =
+  let key =
+    if not (List.mem_assoc key !bench_data) then key
+    else
+      let rec free n =
+        let k = Printf.sprintf "%s#%d" key n in
+        if List.mem_assoc k !bench_data then free (n + 1) else k
+      in
+      free 2
+  in
+  bench_data := (key, j) :: !bench_data
+
+let write_bench_json ~dir ~name ~wall =
+  let j =
+    Json.Obj
+      [
+        ("experiment", Json.String name);
+        ("wall_seconds", Json.Float wall);
+        ("data", Json.Obj (List.rev !bench_data));
+      ]
+  in
+  let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc
 
 let section title =
+  last_heading := title;
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
-let subsection title = Printf.printf "\n--- %s ---\n" title
+let subsection title =
+  last_heading := title;
+  Printf.printf "\n--- %s ---\n" title
 
 (* --- text tables ---------------------------------------------------------- *)
 
 let print_table headers rows =
+  record !last_heading
+    (Json.Obj
+       [
+         ("headers", Json.List (List.map (fun h -> Json.String h) headers));
+         ( "rows",
+           Json.List
+             (List.map
+                (fun r -> Json.List (List.map (fun c -> Json.String c) r))
+                rows) );
+       ]);
   let ncols = List.length headers in
   let widths = Array.make ncols 0 in
   List.iteri (fun i h -> widths.(i) <- String.length h) headers;
@@ -703,6 +754,8 @@ let parallel_bench () =
     && one.distinct_states = par.distinct_states);
   let speedup = rate par t_par /. rate one t_one in
   Printf.printf "\nspeedup (%d domains vs 1): %.2fx\n" jobs speedup;
+  record "speedup"
+    (Json.Obj [ ("domains", Json.Int jobs); ("vs_1_domain", Json.Float speedup) ]);
   let cores = Domain.recommended_domain_count () in
   if jobs >= 4 && cores >= 4 then
     check
@@ -765,11 +818,22 @@ let () =
     | [] -> List.map fst experiments
     | names -> names
   in
+  let out_dir =
+    match Sys.getenv_opt "BENCH_OUT_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "."
+  in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        bench_data := [];
+        last_heading := name;
+        let e0 = Unix.gettimeofday () in
+        f ();
+        write_bench_json ~dir:out_dir ~name
+          ~wall:(Unix.gettimeofday () -. e0)
       | None ->
         Printf.printf "unknown experiment %S; available: %s\n" name
           (String.concat ", " (List.map fst experiments)))

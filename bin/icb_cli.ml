@@ -3,6 +3,7 @@
    icb check FILE            -- iterative context bounding, stop at first bug
    icb resume CHECKPOINT     -- continue an interrupted check
    icb explore FILE          -- run a strategy, print statistics
+   icb report TRACE          -- summarize a JSONL trace (per-bound table)
    icb bench [MODEL]         -- serial vs parallel ICB, assert equivalence
    icb compile FILE          -- type-check and dump the compiled program
    icb models                -- list bundled benchmark models
@@ -10,10 +11,13 @@
 
    check, check-model, resume and explore take --jobs N to shard the
    search across N OCaml domains; every strategy whose frontier shards
-   (icb, dfs, db:N, idfs:N, random, pct:N) accepts it
-   (docs/PARALLEL.md). *)
+   (icb, dfs, db:N, idfs:N, random, pct:N) accepts it (docs/PARALLEL.md).
+   The same four commands take --trace/--metrics/--metrics-every to
+   stream structured telemetry and --quiet to silence the progress line
+   (docs/OBSERVABILITY.md). *)
 
 open Cmdliner
+module Obs = Icb_obs
 
 let load_program path = Icb.compile_file path
 
@@ -94,11 +98,43 @@ let seed_arg =
 
 let progress_arg =
   let doc =
-    "Print a heartbeat line (executions/sec, current bound, elapsed) on \
-     stderr about once a second.  On by default when stderr is a \
-     terminal."
+    "Print a progress line (current bound, frontier, executions/sec, \
+     bugs, ETA) on stderr about once a second, plus a final summary \
+     line.  On by default when stderr is a terminal; $(b,--quiet) wins."
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
+
+let quiet_arg =
+  let doc =
+    "Suppress the stderr progress line and informational hints.  Results, \
+     warnings and errors still print."
+  in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Append-free JSONL event trace of the run: one timestamped, \
+     worker-tagged event per line (run/bound/item/execution/bug/\
+     checkpoint), written to $(docv) and replayable with $(b,icb \
+     report).  See docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Periodically write a metrics snapshot (counters, gauges, latency \
+     histograms) to $(docv) — Prometheus text format, or JSON when \
+     $(docv) ends in $(b,.json) — plus a final snapshot when the run \
+     ends.  See $(b,--metrics-every) and docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let metrics_every_arg =
+  let doc =
+    "Seconds between $(b,--metrics) snapshots (default 5; 0 means only \
+     the final snapshot)."
+  in
+  Arg.(value & opt float 5.0 & info [ "metrics-every" ] ~docv:"SECS" ~doc)
 
 let config_of_granularity = function
   | `Sync -> Icb_search.Mach_engine.default_config
@@ -106,34 +142,114 @@ let config_of_granularity = function
 
 let granularity_name = function `Sync -> "sync" | `Every -> "every"
 
-(* A once-a-second heartbeat on stderr; the collector calls it after every
-   execution, the closure throttles. *)
-let heartbeat () =
-  let last = ref 0.0 in
-  fun (p : Icb_search.Collector.progress) ->
-    let now = Unix.gettimeofday () in
-    if now -. !last >= 1.0 then begin
-      last := now;
-      let rate =
-        if p.p_elapsed > 0.0 then float_of_int p.p_executions /. p.p_elapsed
-        else 0.0
-      in
-      Format.eprintf "[icb] %d executions (%.0f/s)%s, %d states, %d bugs, %.0fs elapsed@."
-        p.p_executions rate
-        (match p.p_bound with
-        | Some b -> Printf.sprintf ", bound %d" b
-        | None -> "")
-        p.p_states p.p_bugs p.p_elapsed
+(* Fail before the search starts, not hours into it when the first
+   periodic write fires. *)
+let validate_out_path what = function
+  | None -> ()
+  | Some path ->
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Format.eprintf "cannot write %s to %s: %s is not an existing directory@."
+        what path dir;
+      exit 2
     end
 
-let options_of ~no_deadlock ~timeout ~progress =
+let validate_checkpoint_path p = validate_out_path "checkpoints" p
+
+(* The per-invocation observability state shared by check/check-model/
+   resume/explore: the telemetry hub feeding --trace/--metrics sinks, the
+   throttled stderr progress display, and the finisher that prints the
+   unconditional final summary line and closes the sinks.  [rt_finish]
+   must run before any [exit]. *)
+type runtime = {
+  rt_telemetry : Obs.Telemetry.t option;
+  rt_on_progress : (Icb_search.Collector.progress -> unit) option;
+  rt_quiet : bool;
+  rt_finish : Icb_search.Sresult.t -> unit;
+}
+
+let make_runtime ?max_execs ~trace ~metrics ~metrics_every ~quiet ~progress
+    ~timeout () =
+  validate_out_path "the event trace" trace;
+  validate_out_path "metrics" metrics;
+  let telemetry =
+    match (trace, metrics) with
+    | None, None -> None
+    | _ ->
+      let t = Obs.Telemetry.create () in
+      Option.iter (Obs.Telemetry.add_trace t) trace;
+      Option.iter (Obs.Telemetry.add_metrics_dump t ~every:metrics_every)
+        metrics;
+      Some t
+  in
+  let started_at = Unix.gettimeofday () in
+  let stat_of (p : Icb_search.Collector.progress) : Obs.Progress.stat =
+    let rate =
+      if p.p_elapsed > 0.0 then float_of_int p.p_executions /. p.p_elapsed
+      else 0.0
+    in
+    let eta_timeout =
+      Option.map
+        (fun t -> t -. (Unix.gettimeofday () -. started_at))
+        timeout
+    in
+    let eta_execs =
+      match max_execs with
+      | Some n when rate > 0.0 ->
+        Some (float_of_int (n - p.p_executions) /. rate)
+      | _ -> None
+    in
+    let eta =
+      match (eta_timeout, eta_execs) with
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as e), None | None, (Some _ as e) -> e
+      | None, None -> None
+    in
+    {
+      Obs.Progress.executions = p.p_executions;
+      states = p.p_states;
+      bugs = p.p_bugs;
+      elapsed = p.p_elapsed;
+      bound = p.p_bound;
+      frontier = p.p_frontier;
+      eta = Option.map (fun e -> Float.max e 0.0) eta;
+    }
+  in
+  let display =
+    if (progress || Unix.isatty Unix.stderr) && not quiet then
+      Some (Obs.Progress.create ())
+    else None
+  in
+  let finish (r : Icb_search.Sresult.t) =
+    (match display with
+    | Some d ->
+      Obs.Progress.finish d
+        {
+          Obs.Progress.executions = r.Icb_search.Sresult.executions;
+          states = r.Icb_search.Sresult.distinct_states;
+          bugs = List.length r.Icb_search.Sresult.bugs;
+          elapsed = Unix.gettimeofday () -. started_at;
+          bound = None;
+          frontier = None;
+          eta = None;
+        }
+    | None -> ());
+    Option.iter Obs.Telemetry.close telemetry
+  in
+  {
+    rt_telemetry = telemetry;
+    rt_on_progress =
+      Option.map (fun d p -> Obs.Progress.report d (stat_of p)) display;
+    rt_quiet = quiet;
+    rt_finish = finish;
+  }
+
+let options_of ~no_deadlock ~timeout rt =
   {
     Icb_search.Collector.default_options with
     deadlock_is_error = not no_deadlock;
     deadline = Option.map Icb_search.Collector.deadline_in timeout;
-    on_progress =
-      (if progress || Unix.isatty Unix.stderr then Some (heartbeat ())
-       else None);
+    on_progress = rt.rt_on_progress;
   }
 
 (* --- check / check-model / resume ------------------------------------------- *)
@@ -144,24 +260,11 @@ let report_bug prog (bug : Icb.bug) =
     Icb.pp_bug bug;
   List.iter (fun l -> Format.printf "  %s@." l) (Icb.explain prog bug)
 
-(* Fail before the search starts, not hours into it when the first
-   periodic write fires. *)
-let validate_checkpoint_path = function
-  | None -> ()
-  | Some path ->
-    let dir = Filename.dirname path in
-    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-      Format.eprintf
-        "cannot write checkpoints to %s: %s is not an existing directory@."
-        path dir;
-      exit 2
-    end
-
 (* Shared driver behind check, check-model and resume: ICB stopping at the
    first bug, with optional deadline and checkpointing.  Exit codes:
    0 no bug, 1 bug found, 2 usage error, 3 interrupted (partial result). *)
-let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
-    ~resume_from ~jobs () =
+let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
+    ~checkpoint_every ~resume_from ~jobs () =
   validate_checkpoint_path checkpoint;
   if jobs < 1 then begin
     Format.eprintf "--jobs must be at least 1@.";
@@ -171,22 +274,24 @@ let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
   let options =
     { options with Icb_search.Collector.stop_at_first_bug = true }
   in
+  let telemetry = rt.rt_telemetry in
   let r =
     match resume_from with
     | Some ckpt ->
       Icb.resume ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-        ~checkpoint_meta:meta ~domains:jobs prog ckpt
+        ~checkpoint_meta:meta ?telemetry ~domains:jobs prog ckpt
     | None when jobs > 1 ->
       Icb.run_parallel ~config ~options ?checkpoint_out:checkpoint
-        ~checkpoint_every ~checkpoint_meta:meta ~max_bound:bound ~cache:false
-        ~domains:jobs prog
+        ~checkpoint_every ~checkpoint_meta:meta ?telemetry ~max_bound:bound
+        ~cache:false ~domains:jobs prog
     | None ->
       Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-        ~checkpoint_meta:meta
+        ~checkpoint_meta:meta ?telemetry
         ~strategy:
           (Icb_search.Explore.Icb { max_bound = Some bound; cache = false })
         prog
   in
+  rt.rt_finish r;
   match r.Icb_search.Sresult.bugs with
   | bug :: _ ->
     report_bug prog bug;
@@ -203,12 +308,13 @@ let run_check ~prog ~meta ~bound ~options ~gran ~checkpoint ~checkpoint_every
         (Icb_search.Sresult.stop_reason_string reason)
         r.executions r.distinct_states
         (match checkpoint with
-        | Some f -> Printf.sprintf "; continue with `icb resume %s`" f
-        | None -> "");
+        | Some f when not rt.rt_quiet ->
+          Printf.sprintf "; continue with `icb resume %s`" f
+        | _ -> "");
       exit 3)
 
 let check_run path bound seed no_deadlock gran timeout checkpoint
-    checkpoint_every jobs progress =
+    checkpoint_every jobs progress trace metrics metrics_every quiet =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -224,8 +330,11 @@ let check_run path bound seed no_deadlock gran timeout checkpoint
         ("no-deadlock", string_of_bool no_deadlock);
       ]
     in
-    run_check ~prog ~meta ~bound
-      ~options:(options_of ~no_deadlock ~timeout ~progress)
+    let rt =
+      make_runtime ~trace ~metrics ~metrics_every ~quiet ~progress ~timeout ()
+    in
+    run_check ~prog ~meta ~bound ~rt
+      ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
 
 let check_cmd =
@@ -252,12 +361,13 @@ let check_cmd =
     Term.(
       const check_run $ path $ bound_arg $ seed_arg $ no_deadlock_arg
       $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ jobs_arg $ progress_arg)
+      $ jobs_arg $ progress_arg $ trace_arg $ metrics_arg $ metrics_every_arg
+      $ quiet_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
 let check_model_run name bound seed no_deadlock gran timeout checkpoint
-    checkpoint_every jobs progress =
+    checkpoint_every jobs progress trace metrics metrics_every quiet =
   match resolve_model name with
   | Error msg ->
     Format.eprintf "%s@." msg;
@@ -273,8 +383,11 @@ let check_model_run name bound seed no_deadlock gran timeout checkpoint
         ("no-deadlock", string_of_bool no_deadlock);
       ]
     in
-    run_check ~prog ~meta ~bound
-      ~options:(options_of ~no_deadlock ~timeout ~progress)
+    let rt =
+      make_runtime ~trace ~metrics ~metrics_every ~quiet ~progress ~timeout ()
+    in
+    run_check ~prog ~meta ~bound ~rt
+      ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
 
 let check_model_cmd =
@@ -294,11 +407,13 @@ let check_model_cmd =
     Term.(
       const check_model_run $ model_name $ bound_arg $ seed_arg
       $ no_deadlock_arg $ granularity_arg $ timeout_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
+      $ metrics_arg $ metrics_every_arg $ quiet_arg)
 
 (* --- resume ------------------------------------------------------------------- *)
 
-let resume_run file timeout checkpoint checkpoint_every jobs progress =
+let resume_run file timeout checkpoint checkpoint_every jobs progress trace
+    metrics metrics_every quiet =
   match Icb_search.Checkpoint.load file with
   | exception Icb_search.Checkpoint.Corrupt msg ->
     Format.eprintf "%s@." msg;
@@ -336,7 +451,9 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress =
     in
     let gran = if meta "granularity" = Some "every" then `Every else `Sync in
     let no_deadlock = meta "no-deadlock" = Some "true" in
-    Format.eprintf "[icb] resuming %s@." (Icb_search.Checkpoint.describe ckpt);
+    if not quiet then
+      Format.eprintf "[icb] resuming %s@."
+        (Icb_search.Checkpoint.describe ckpt);
     (* Checkpoints written by `icb explore --checkpoint` carry the
        strategy in the file itself, not a preemption bound; resume them
        with explore's reporting (full search, no first-bug stop). *)
@@ -349,22 +466,28 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress =
       (* The original run's --max-executions is recorded in the file;
          without it a resumed randomized strategy would run to its hard
          walk cap rather than the horizon the user asked for. *)
+      let max_execs = Option.bind (meta "max-executions") int_of_string_opt in
+      let rt =
+        make_runtime ?max_execs ~trace ~metrics ~metrics_every ~quiet
+          ~progress ~timeout ()
+      in
       let options =
         {
-          (options_of ~no_deadlock ~timeout ~progress) with
-          Icb_search.Collector.max_executions =
-            Option.bind (meta "max-executions") int_of_string_opt;
+          (options_of ~no_deadlock ~timeout rt) with
+          Icb_search.Collector.max_executions = max_execs;
         }
       in
       let r =
         try
           Icb.resume ~config ~options
             ~checkpoint_out:(Option.value checkpoint ~default:file)
-            ~checkpoint_every ~domains:jobs prog ckpt
+            ~checkpoint_every ?telemetry:rt.rt_telemetry ~domains:jobs prog
+            ckpt
         with Invalid_argument msg ->
           Format.eprintf "%s@." msg;
           exit 2
       in
+      rt.rt_finish r;
       Format.printf "%a@." Icb_search.Sresult.pp_summary r;
       List.iter
         (fun (bug : Icb.bug) -> Format.printf "@.%a@." Icb.pp_bug bug)
@@ -376,13 +499,16 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress =
       | Some b -> b
       | None -> missing "the preemption bound"
     in
+    let rt =
+      make_runtime ~trace ~metrics ~metrics_every ~quiet ~progress ~timeout ()
+    in
     run_check ~prog
       ~meta:
         (List.filter_map
            (fun k -> Option.map (fun v -> (k, v)) (meta k))
            [ "kind"; "target"; "bound"; "seed"; "granularity"; "no-deadlock" ])
-      ~bound
-      ~options:(options_of ~no_deadlock ~timeout ~progress)
+      ~bound ~rt
+      ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran
       ~checkpoint:(Some (Option.value checkpoint ~default:file))
       ~checkpoint_every ~resume_from:(Some ckpt) ~jobs ())
@@ -414,7 +540,8 @@ let resume_cmd =
     (Cmd.info "resume" ~doc ~man)
     Term.(
       const resume_run $ file $ timeout_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
+      $ metrics_arg $ metrics_every_arg $ quiet_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -491,7 +618,8 @@ let parse_strategy ~seed s =
   | _ -> bad ()
 
 let explore_run path strategy_str seed no_deadlock gran max_execs timeout
-    checkpoint checkpoint_every jobs progress =
+    checkpoint checkpoint_every jobs progress trace metrics metrics_every
+    quiet =
   match load_program path, parse_strategy ~seed strategy_str with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -506,9 +634,13 @@ let explore_run path strategy_str seed no_deadlock gran max_execs timeout
       exit 2
     end;
     let config = config_of_granularity gran in
+    let rt =
+      make_runtime ?max_execs ~trace ~metrics ~metrics_every ~quiet ~progress
+        ~timeout ()
+    in
     let options =
       {
-        (options_of ~no_deadlock ~timeout ~progress) with
+        (options_of ~no_deadlock ~timeout rt) with
         Icb_search.Collector.max_executions = max_execs;
       }
     in
@@ -533,18 +665,20 @@ let explore_run path strategy_str seed no_deadlock gran max_execs timeout
     let r =
       try
         Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-          ~checkpoint_meta:meta ~domains:jobs ~strategy prog
+          ~checkpoint_meta:meta ?telemetry:rt.rt_telemetry ~domains:jobs
+          ~strategy prog
       with Invalid_argument msg ->
         Format.eprintf "%s@." msg;
         exit 2
     in
+    rt.rt_finish r;
     Format.printf "%a@." Icb_search.Sresult.pp_summary r;
     List.iter
       (fun (bug : Icb.bug) ->
         Format.printf "@.%a@." Icb.pp_bug bug)
       r.Icb_search.Sresult.bugs;
     (match (r.Icb_search.Sresult.stop_reason, checkpoint) with
-    | Some _, Some f ->
+    | Some _, Some f when not quiet ->
       Format.eprintf "continue with `icb resume %s`@." f
     | _ -> ());
     if r.bugs <> [] then exit 1
@@ -562,7 +696,54 @@ let explore_cmd =
     Term.(
       const explore_run $ path $ strategy_arg $ seed_arg $ no_deadlock_arg
       $ granularity_arg $ max_execs_arg $ timeout_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ jobs_arg $ progress_arg)
+      $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
+      $ metrics_arg $ metrics_every_arg $ quiet_arg)
+
+(* --- report ------------------------------------------------------------------- *)
+
+let report_run file json =
+  match Obs.Trace.read file with
+  | exception Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | exception Failure msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | events ->
+    let s = Obs.Trace.summarize events in
+    if json then print_endline (Obs.Json.to_string (Obs.Trace.to_json s))
+    else Format.printf "%a@." Obs.Trace.pp_report s
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL event trace written by $(b,--trace).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the summary as a JSON object instead of the table.")
+  in
+  let doc = "summarize a JSONL event trace" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a trace written by $(b,icb check --trace) (or check-model/\
+         resume/explore) into a per-bound coverage table — executions per \
+         context bound, cumulative counts, and the bugs found at each \
+         bound, the shape of the paper's Table 2 — plus run totals and \
+         outcome.  The per-bound cumulative counts reproduce the \
+         collector's own curve exactly, serial or parallel.  Corrupt or \
+         truncated traces are rejected with the offending line.  See \
+         docs/OBSERVABILITY.md.";
+    ]
+  in
+  Cmd.v (Cmd.info "report" ~doc ~man) Term.(const report_run $ file $ json)
 
 (* --- bench -------------------------------------------------------------------- *)
 
@@ -706,6 +887,7 @@ let () =
             check_model_cmd;
             resume_cmd;
             explore_cmd;
+            report_cmd;
             bench_cmd;
             compile_cmd;
             models_cmd;

@@ -2,6 +2,7 @@ module Machine = Icb_machine
 module Zlang = Icb_zlang
 module Race = Icb_race
 module Search = Icb_search
+module Obs = Icb_obs
 module Util = Icb_util
 
 type prog = Icb_machine.Prog.t
@@ -26,12 +27,14 @@ let engine ?(config = Icb_search.Mach_engine.default_config) prog =
     with type state = Icb_search.Mach_engine.state)
 
 let run ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    ?resume_from ?domains ~strategy prog =
+    ?resume_from ?telemetry ?domains ~strategy prog =
   Icb_search.Explore.run (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ?resume_from ?domains strategy
+    ?checkpoint_every ?checkpoint_meta ?resume_from ?telemetry ?domains
+    strategy
 
 let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
-    ?checkpoint_meta ?resume_from ?max_bound ?(cache = false) ~domains prog =
+    ?checkpoint_meta ?resume_from ?telemetry ?max_bound ?(cache = false)
+    ~domains prog =
   (* Each worker gets its own machine-engine instance, and machine states
      are persistent plain data any instance can step, so deferred work
      items carry their live states across the barrier instead of being
@@ -39,16 +42,16 @@ let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
   Icb_search.Parallel.run
     (fun _ -> engine ?config prog)
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ~share_states:true ~domains ~max_bound ~cache ()
+    ?telemetry ~share_states:true ~domains ~max_bound ~cache ()
 
 let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    ?domains prog ckpt =
+    ?telemetry ?domains prog ckpt =
   Icb_search.Explore.resume (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ?domains ckpt
+    ?checkpoint_every ?checkpoint_meta ?telemetry ?domains ckpt
 
-let check ?config ?options ?(max_bound = 3) ?domains prog =
-  Icb_search.Explore.check (engine ?config prog) ?options ~max_bound ?domains
-    ()
+let check ?config ?options ?(max_bound = 3) ?telemetry ?domains prog =
+  Icb_search.Explore.check (engine ?config prog) ?options ~max_bound
+    ?telemetry ?domains ()
 
 let pp_bug fmt (b : bug) =
   Format.fprintf fmt

@@ -19,6 +19,7 @@ module Machine = Icb_machine
 module Zlang = Icb_zlang
 module Race = Icb_race
 module Search = Icb_search
+module Obs = Icb_obs
 module Util = Icb_util
 
 type prog = Icb_machine.Prog.t
@@ -46,6 +47,7 @@ val run :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Icb_search.Checkpoint.t ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   strategy:Icb_search.Explore.strategy ->
   prog ->
@@ -56,7 +58,10 @@ val run :
     interruptible and resumable.  [domains] shards any strategy whose
     frontier shards ([Icb], the DFS family, [Random_walk], [Pct]) across
     OCaml domains; for ICB specifically, {!run_parallel} additionally
-    shares engine states across workers instead of replaying prefixes. *)
+    shares engine states across workers instead of replaying prefixes.
+    [telemetry] streams structured run events (and derived metrics) to
+    that hub's sinks without changing what the search explores — see
+    docs/OBSERVABILITY.md. *)
 
 val run_parallel :
   ?config:Icb_search.Mach_engine.config ->
@@ -65,6 +70,7 @@ val run_parallel :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Icb_search.Checkpoint.t ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?max_bound:int ->
   ?cache:bool ->
   domains:int ->
@@ -86,6 +92,7 @@ val resume :
   ?checkpoint_out:string ->
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   prog ->
   Icb_search.Checkpoint.t ->
@@ -100,6 +107,7 @@ val check :
   ?config:Icb_search.Mach_engine.config ->
   ?options:Icb_search.Collector.options ->
   ?max_bound:int ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   prog ->
   bug option

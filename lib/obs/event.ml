@@ -1,0 +1,177 @@
+(* The typed telemetry event stream.  Payloads are plain ints, strings
+   and options — never search-library types — so the dependency runs
+   [icb_search -> icb_obs] and a trace file is self-describing.
+
+   An envelope stamps each event with a monotonic timestamp (seconds
+   since the telemetry handle was created, so merged parallel streams
+   share one clock) and the id of the worker domain that recorded it. *)
+
+type t =
+  | Run_started of { strategy : string; domains : int; resumed : bool }
+  | Bound_started of { bound : int; items : int }
+      (** a strategy round begins; for ICB [bound] is the context bound,
+          [items] the frontier size seeding the round *)
+  | Item_started of { prefix : int; payload : int }
+      (** a work item dequeued: schedule-prefix length and payload *)
+  | Item_finished of { seconds : float; executions : int; steps : int }
+      (** the matching completion, with per-item deltas *)
+  | Execution_done of {
+      bound : int option;  (** ICB's current bound; [None] otherwise *)
+      steps : int;         (** depth of the finished execution *)
+      preemptions : int;
+      status : string;     (** terminated | deadlock | failed | truncated *)
+      executions : int;    (** the recording collector's running count *)
+    }
+  | Bug_found of { key : string; preemptions : int; execution : int }
+  | Checkpoint_written of { path : string; executions : int }
+  | Worker_stats of {
+      stats_for : int;  (** worker the numbers describe (the envelope's
+                            [worker] is whoever merged them) *)
+      executions : int;
+      steps : int;
+      bugs : int;
+    }
+  | Run_finished of {
+      executions : int;
+      states : int;
+      bugs : int;
+      complete : bool;
+      stop_reason : string option;
+    }
+
+type envelope = { ts : float; worker : int; ev : t }
+
+let name = function
+  | Run_started _ -> "run-started"
+  | Bound_started _ -> "bound-started"
+  | Item_started _ -> "item-started"
+  | Item_finished _ -> "item-finished"
+  | Execution_done _ -> "execution-done"
+  | Bug_found _ -> "bug-found"
+  | Checkpoint_written _ -> "checkpoint-written"
+  | Worker_stats _ -> "worker-stats"
+  | Run_finished _ -> "run-finished"
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let fields_of = function
+  | Run_started { strategy; domains; resumed } ->
+    [
+      ("strategy", Json.String strategy);
+      ("domains", Json.Int domains);
+      ("resumed", Json.Bool resumed);
+    ]
+  | Bound_started { bound; items } ->
+    [ ("bound", Json.Int bound); ("items", Json.Int items) ]
+  | Item_started { prefix; payload } ->
+    [ ("prefix", Json.Int prefix); ("payload", Json.Int payload) ]
+  | Item_finished { seconds; executions; steps } ->
+    [
+      ("seconds", Json.Float seconds);
+      ("executions", Json.Int executions);
+      ("steps", Json.Int steps);
+    ]
+  | Execution_done { bound; steps; preemptions; status; executions } ->
+    (match bound with Some b -> [ ("bound", Json.Int b) ] | None -> [])
+    @ [
+        ("steps", Json.Int steps);
+        ("preemptions", Json.Int preemptions);
+        ("status", Json.String status);
+        ("executions", Json.Int executions);
+      ]
+  | Bug_found { key; preemptions; execution } ->
+    [
+      ("key", Json.String key);
+      ("preemptions", Json.Int preemptions);
+      ("execution", Json.Int execution);
+    ]
+  | Checkpoint_written { path; executions } ->
+    [ ("path", Json.String path); ("executions", Json.Int executions) ]
+  | Worker_stats { stats_for; executions; steps; bugs } ->
+    [
+      ("stats_for", Json.Int stats_for);
+      ("executions", Json.Int executions);
+      ("steps", Json.Int steps);
+      ("bugs", Json.Int bugs);
+    ]
+  | Run_finished { executions; states; bugs; complete; stop_reason } ->
+    [
+      ("executions", Json.Int executions);
+      ("states", Json.Int states);
+      ("bugs", Json.Int bugs);
+      ("complete", Json.Bool complete);
+    ]
+    @ (match stop_reason with
+      | Some r -> [ ("stop_reason", Json.String r) ]
+      | None -> [])
+
+let to_json { ts; worker; ev } =
+  Json.Obj
+    (("ts", Json.Float ts)
+    :: ("worker", Json.Int worker)
+    :: ("ev", Json.String (name ev))
+    :: fields_of ev)
+
+let of_json j =
+  let str k = Option.bind (Json.find j k) Json.to_str in
+  let int k = Option.bind (Json.find j k) Json.to_int in
+  let num k = Option.bind (Json.find j k) Json.to_float in
+  let bool k = Option.bind (Json.find j k) Json.to_bool in
+  let req what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" what)
+  in
+  let ( let* ) = Result.bind in
+  let* ts = req "ts" (num "ts") in
+  let* worker = req "worker" (int "worker") in
+  let* kind = req "ev" (str "ev") in
+  let* ev =
+    match kind with
+    | "run-started" ->
+      let* strategy = req "strategy" (str "strategy") in
+      let* domains = req "domains" (int "domains") in
+      let* resumed = req "resumed" (bool "resumed") in
+      Ok (Run_started { strategy; domains; resumed })
+    | "bound-started" ->
+      let* bound = req "bound" (int "bound") in
+      let* items = req "items" (int "items") in
+      Ok (Bound_started { bound; items })
+    | "item-started" ->
+      let* prefix = req "prefix" (int "prefix") in
+      let* payload = req "payload" (int "payload") in
+      Ok (Item_started { prefix; payload })
+    | "item-finished" ->
+      let* seconds = req "seconds" (num "seconds") in
+      let* executions = req "executions" (int "executions") in
+      let* steps = req "steps" (int "steps") in
+      Ok (Item_finished { seconds; executions; steps })
+    | "execution-done" ->
+      let* steps = req "steps" (int "steps") in
+      let* preemptions = req "preemptions" (int "preemptions") in
+      let* status = req "status" (str "status") in
+      let* executions = req "executions" (int "executions") in
+      Ok (Execution_done { bound = int "bound"; steps; preemptions; status; executions })
+    | "bug-found" ->
+      let* key = req "key" (str "key") in
+      let* preemptions = req "preemptions" (int "preemptions") in
+      let* execution = req "execution" (int "execution") in
+      Ok (Bug_found { key; preemptions; execution })
+    | "checkpoint-written" ->
+      let* path = req "path" (str "path") in
+      let* executions = req "executions" (int "executions") in
+      Ok (Checkpoint_written { path; executions })
+    | "worker-stats" ->
+      let* stats_for = req "stats_for" (int "stats_for") in
+      let* executions = req "executions" (int "executions") in
+      let* steps = req "steps" (int "steps") in
+      let* bugs = req "bugs" (int "bugs") in
+      Ok (Worker_stats { stats_for; executions; steps; bugs })
+    | "run-finished" ->
+      let* executions = req "executions" (int "executions") in
+      let* states = req "states" (int "states") in
+      let* bugs = req "bugs" (int "bugs") in
+      let* complete = req "complete" (bool "complete") in
+      Ok (Run_finished { executions; states; bugs; complete; stop_reason = str "stop_reason" })
+    | other -> Error (Printf.sprintf "unknown event kind %S" other)
+  in
+  Ok { ts; worker; ev }

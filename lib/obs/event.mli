@@ -1,0 +1,55 @@
+(** The typed telemetry event stream emitted by the search driver.
+
+    Payloads are plain ints, strings and options — never search-library
+    types — so the dependency runs [icb_search -> icb_obs] and a trace
+    file is self-describing.  See docs/OBSERVABILITY.md for the schema
+    and the exact emission points. *)
+
+type t =
+  | Run_started of { strategy : string; domains : int; resumed : bool }
+  | Bound_started of { bound : int; items : int }
+      (** a strategy round begins; for ICB [bound] is the context bound,
+          [items] the frontier size seeding the round *)
+  | Item_started of { prefix : int; payload : int }
+      (** a work item dequeued: schedule-prefix length and payload *)
+  | Item_finished of { seconds : float; executions : int; steps : int }
+      (** the matching completion, with per-item deltas *)
+  | Execution_done of {
+      bound : int option;  (** ICB's current bound; [None] otherwise *)
+      steps : int;         (** depth of the finished execution *)
+      preemptions : int;
+      status : string;     (** terminated | deadlock | failed | truncated *)
+      executions : int;    (** the recording collector's running count *)
+    }
+  | Bug_found of { key : string; preemptions : int; execution : int }
+      (** a {e new} bug key on the recording collector; parallel barrier
+          merges do not re-emit, so distinct keys count bugs exactly *)
+  | Checkpoint_written of { path : string; executions : int }
+  | Worker_stats of {
+      stats_for : int;  (** worker the numbers describe (the envelope's
+                            [worker] is whoever merged them) *)
+      executions : int;
+      steps : int;
+      bugs : int;
+    }  (** per-worker totals for one round, emitted at the barrier *)
+  | Run_finished of {
+      executions : int;
+      states : int;
+      bugs : int;
+      complete : bool;
+      stop_reason : string option;
+    }
+
+(** [ts] is seconds since the run's telemetry handle was created — one
+    monotonic clock shared by all workers — and [worker] the domain that
+    recorded the event (0 for the serial driver and the master). *)
+type envelope = { ts : float; worker : int; ev : t }
+
+val name : t -> string
+(** The kind tag used in the JSON encoding ("execution-done", ...). *)
+
+val to_json : envelope -> Json.t
+(** One flat object: [ts], [worker], [ev] (the kind tag), then the
+    payload fields. *)
+
+val of_json : Json.t -> (envelope, string) result

@@ -1,0 +1,34 @@
+(** A minimal JSON tree with a printer and parser — the closed loop
+    behind the JSONL telemetry trace, the metrics snapshot and the bench
+    output files.  Everything {!to_string} produces, {!parse} reads
+    back; surrogate-pair escapes and other exotica are out of scope. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering (no spaces, no trailing newline).
+    Non-finite floats degrade to [null]. *)
+
+val parse : string -> t
+(** Raises {!Parse_error} with an offset on malformed input. *)
+
+val find : t -> string -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+(** Also accepts integral floats. *)
+
+val to_float : t -> float option
+(** Also accepts ints. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

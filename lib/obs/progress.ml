@@ -1,0 +1,55 @@
+(* The stderr progress line: one renderer shared by every CLI
+   subcommand, replacing the old ad-hoc heartbeat.  [report] throttles
+   to one line per interval; [finish] prints unconditionally, so even a
+   run that completes inside one interval leaves a summary line. *)
+
+type stat = {
+  executions : int;
+  states : int;
+  bugs : int;
+  elapsed : float;
+  bound : int option;
+  frontier : int option;  (* items seeding the current round *)
+  eta : float option;     (* seconds to the nearest limit, if computable *)
+}
+
+type t = {
+  ppf : Format.formatter;
+  interval : float;
+  mutable last : float;   (* wall clock of the last line *)
+}
+
+let create ?(ppf = Format.err_formatter) ?(interval = 1.0) () =
+  { ppf; interval; last = 0.0 }
+
+let line ?(final = false) s =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (if final then "[icb] done:" else "[icb]");
+  (match s.bound with
+  | Some bound -> Buffer.add_string b (Printf.sprintf " bound %d |" bound)
+  | None -> ());
+  (match s.frontier with
+  | Some n -> Buffer.add_string b (Printf.sprintf " %d items |" n)
+  | None -> ());
+  let rate =
+    if s.elapsed > 1e-9 then float_of_int s.executions /. s.elapsed else 0.0
+  in
+  Buffer.add_string b
+    (Printf.sprintf " %d execs (%.0f/s) | %d states | %d bug%s | %.1fs"
+       s.executions rate s.states s.bugs
+       (if s.bugs = 1 then "" else "s")
+       s.elapsed);
+  (match s.eta with
+  | Some eta when not final ->
+    Buffer.add_string b (Printf.sprintf " | ~%.0fs left" (Float.max 0.0 eta))
+  | Some _ | None -> ());
+  Buffer.contents b
+
+let report t s =
+  let now = Unix.gettimeofday () in
+  if now -. t.last >= t.interval then begin
+    t.last <- now;
+    Format.fprintf t.ppf "%s@." (line s)
+  end
+
+let finish t s = Format.fprintf t.ppf "%s@." (line ~final:true s)

@@ -1,0 +1,29 @@
+(** The stderr progress line — one renderer for every CLI subcommand,
+    replacing the old ad-hoc heartbeat: current bound, frontier size,
+    executions/second, states, bugs, elapsed and an ETA when a limit
+    makes one computable. *)
+
+type stat = {
+  executions : int;
+  states : int;
+  bugs : int;
+  elapsed : float;
+  bound : int option;
+  frontier : int option;  (** items seeding the current round *)
+  eta : float option;     (** seconds to the nearest limit *)
+}
+
+type t
+
+val create : ?ppf:Format.formatter -> ?interval:float -> unit -> t
+(** Defaults: stderr, at most one line per second. *)
+
+val line : ?final:bool -> stat -> string
+(** The rendered line (exposed for tests). *)
+
+val report : t -> stat -> unit
+(** Throttled: prints at most once per interval. *)
+
+val finish : t -> stat -> unit
+(** Unconditional final summary line — a run finishing inside one
+    interval still leaves output. *)

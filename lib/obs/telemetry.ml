@@ -1,0 +1,181 @@
+(* The per-run telemetry handle: one shared monotonic clock, a
+   mutex-guarded fan-out to consumers (trace writer, metrics updater,
+   periodic dump), and the two emitter shapes the driver uses — a direct
+   emitter for single-writer paths (serial collector, the master at a
+   barrier) and a buffered emitter per parallel worker, whose private
+   buffer is flushed in worker order at the round barrier so the merged
+   stream is deterministic up to timestamps.
+
+   The consumer lock serializes fan-out; workers only take it at flush
+   time (and for the rare checkpoint event written mid-round from a
+   worker domain), so the search hot path never contends on it. *)
+
+type t = {
+  epoch : float;
+  lock : Mutex.t;
+  metrics : Metrics.t;
+  mutable consumers : (Event.envelope -> unit) list;  (* reversed *)
+  mutable closers : (unit -> unit) list;              (* reversed *)
+  mutable tracking : bool;   (* metrics updater installed *)
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    epoch = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    metrics = Metrics.create ();
+    consumers = [];
+    closers = [];
+    tracking = false;
+    closed = false;
+  }
+
+let clock t () = Unix.gettimeofday () -. t.epoch
+let metrics t = t.metrics
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let add_consumer t f = t.consumers <- f :: t.consumers
+let on_close t f = t.closers <- f :: t.closers
+
+let deliver t env =
+  List.iter (fun f -> f env) (List.rev t.consumers)
+
+let publish t env = with_lock t.lock (fun () -> deliver t env)
+
+let emitter t ~worker = Emit.live ~worker ~clock:(clock t) ~push:(publish t)
+
+let buffered t ~worker =
+  let buf = ref [] in
+  let e =
+    Emit.live ~worker ~clock:(clock t) ~push:(fun env -> buf := env :: !buf)
+  in
+  let flush () =
+    match !buf with
+    | [] -> ()
+    | pending ->
+      buf := [];
+      let pending = List.rev pending in
+      with_lock t.lock (fun () -> List.iter (deliver t) pending)
+  in
+  (e, flush)
+
+(* --- sinks ---------------------------------------------------------------- *)
+
+let add_trace t path =
+  let oc = open_out path in
+  add_consumer t (fun env ->
+      output_string oc (Json.to_string (Event.to_json env));
+      output_char oc '\n');
+  on_close t (fun () -> close_out oc)
+
+(* The standard event -> metrics projection.  Distinct bug keys are
+   counted exactly because [Bug_found] fires only on a collector that
+   had not seen the key (barrier merges never re-emit), but a serial +
+   parallel mix could still repeat a key across collectors — dedup
+   here. *)
+let track_metrics t =
+  if not t.tracking then begin
+    t.tracking <- true;
+    let m = t.metrics in
+    let executions = Metrics.counter m ~help:"Completed executions" "icb_executions_total" in
+    let steps = Metrics.counter m ~help:"Engine steps, summed over work items" "icb_steps_total" in
+    let items = Metrics.counter m ~help:"Work items expanded" "icb_items_total" in
+    let bugs = Metrics.counter m ~help:"Distinct bug keys discovered" "icb_bugs_total" in
+    let checkpoints = Metrics.counter m ~help:"Checkpoints written" "icb_checkpoints_total" in
+    let bound = Metrics.gauge m ~help:"Current strategy round (ICB: context bound)" "icb_current_bound" in
+    let frontier = Metrics.gauge m ~help:"Work items seeding the current round" "icb_frontier_items" in
+    let rate = Metrics.gauge m ~help:"Completed executions per wall-clock second" "icb_executions_per_second" in
+    let h_steps =
+      Metrics.histogram m ~help:"Steps (depth) per completed execution"
+        ~buckets:[ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ]
+        "icb_steps_per_execution"
+    in
+    let h_preempt =
+      Metrics.histogram m ~help:"Preemptions per completed execution"
+        ~buckets:[ 0.; 1.; 2.; 3.; 4.; 5.; 8.; 16. ]
+        "icb_preemptions_per_execution"
+    in
+    let h_item =
+      Metrics.histogram m ~help:"Wall-clock seconds per work item"
+        ~buckets:[ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ]
+        "icb_item_seconds"
+    in
+    let h_step =
+      Metrics.histogram m ~help:"Mean engine-step latency per work item, seconds"
+        ~buckets:[ 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2 ]
+        "icb_step_seconds"
+    in
+    let seen_bugs = Hashtbl.create 8 in
+    add_consumer t (fun { Event.ts; ev; _ } ->
+        match ev with
+        | Event.Execution_done e ->
+          Metrics.inc executions 1.0;
+          Metrics.observe h_steps (float_of_int e.steps);
+          Metrics.observe h_preempt (float_of_int e.preemptions);
+          if ts > 1e-9 then Metrics.set rate (Metrics.value executions /. ts)
+        | Event.Item_finished i ->
+          Metrics.inc items 1.0;
+          Metrics.inc steps (float_of_int i.steps);
+          Metrics.observe h_item i.seconds;
+          if i.steps > 0 then
+            Metrics.observe h_step (i.seconds /. float_of_int i.steps)
+        | Event.Bug_found b ->
+          if not (Hashtbl.mem seen_bugs b.key) then begin
+            Hashtbl.add seen_bugs b.key ();
+            Metrics.inc bugs 1.0
+          end
+        | Event.Bound_started b ->
+          Metrics.set bound (float_of_int b.bound);
+          Metrics.set frontier (float_of_int b.items)
+        | Event.Checkpoint_written _ -> Metrics.inc checkpoints 1.0
+        | Event.Run_started _ | Event.Item_started _ | Event.Worker_stats _
+        | Event.Run_finished _ -> ())
+  end
+
+let dump_metrics t path =
+  let data =
+    if Filename.check_suffix path ".json" then
+      Json.to_string (Metrics.to_json t.metrics) ^ "\n"
+    else Metrics.to_prometheus t.metrics
+  in
+  (* atomic like checkpoints: a reader never sees a half-written dump *)
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path) ".tmp"
+  in
+  let oc = open_out tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let add_metrics_dump t ?(every = 5.0) path =
+  track_metrics t;
+  let last = ref neg_infinity in
+  add_consumer t (fun { Event.ts; _ } ->
+      if every > 0.0 && ts -. !last >= every then begin
+        last := ts;
+        dump_metrics t path
+      end);
+  on_close t (fun () -> dump_metrics t path)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    with_lock t.lock (fun () ->
+        List.iter (fun f -> f ()) (List.rev t.closers))
+  end

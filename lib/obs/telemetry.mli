@@ -1,0 +1,60 @@
+(** The per-run telemetry handle: one shared monotonic clock, a
+    mutex-guarded fan-out of {!Event.envelope}s to registered sinks, and
+    a {!Metrics} registry kept current by the standard event projection.
+
+    Lifecycle: {!create}, register sinks ({!add_trace},
+    {!add_metrics_dump}, {!add_consumer}), hand the handle to the search
+    driver ([?telemetry]), and {!close} when the run returns (final
+    metrics dump, file flush).
+
+    Concurrency: sinks run under one lock.  Direct {!emitter}s take it
+    per event and belong on single-writer paths (the serial driver, the
+    master at a barrier); parallel workers use {!buffered} emitters —
+    private buffers flushed in worker order at the round barrier, so the
+    merged stream is deterministic up to timestamps and the hot path
+    never contends. *)
+
+type t
+
+val create : unit -> t
+(** Starts the run clock ({!Event.envelope}[.ts] is seconds since this
+    call). *)
+
+val clock : t -> unit -> float
+val metrics : t -> Metrics.t
+
+val emitter : t -> worker:int -> Emit.t
+(** A direct emitter: each event takes the lock and fans out
+    immediately. *)
+
+val buffered : t -> worker:int -> Emit.t * (unit -> unit)
+(** [(emit, flush)]: events accumulate in a private buffer (no lock,
+    single writer) until [flush], which delivers them in emission
+    order.  One per worker per round; flush at the barrier. *)
+
+val add_consumer : t -> (Event.envelope -> unit) -> unit
+(** Sinks observe every event, in registration order. *)
+
+val on_close : t -> (unit -> unit) -> unit
+
+val add_trace : t -> string -> unit
+(** JSONL trace sink: one {!Event.to_json} object per line.  The file is
+    truncated at registration and flushed/closed by {!close}. *)
+
+val track_metrics : t -> unit
+(** Install the standard event → metrics projection (executions, steps,
+    items, distinct bugs, checkpoints, current bound, frontier size,
+    executions/second, steps/preemptions/item-seconds/step-latency
+    histograms) into {!metrics}.  Idempotent. *)
+
+val add_metrics_dump : t -> ?every:float -> string -> unit
+(** Periodically (default every 5 event-clock seconds; [every <= 0.] =
+    final dump only) write the metrics snapshot to the file — Prometheus
+    text, or a JSON snapshot when the path ends in [.json] — with an
+    atomic tmp-rename, plus a final dump at {!close}.  Implies
+    {!track_metrics}. *)
+
+val dump_metrics : t -> string -> unit
+
+val close : t -> unit
+(** Run the close hooks (final dump, trace flush).  Idempotent. *)

@@ -194,6 +194,47 @@ let to_v3 (t : t) : v3 =
 
 let meta_find t key = List.assoc_opt key t.meta
 
+(* --- wall-clock timing params ------------------------------------------- *)
+
+(* Cumulative timing the driver stamps into [v3_params] at every save.
+   Being string params, they extend the v3 format compatibly: older
+   builds ignore unknown keys, files without them simply report no
+   timing.  These are the only nondeterministic fields a checkpoint
+   carries — telemetry-neutrality comparisons normalize them away. *)
+let elapsed_key = "elapsed_s"
+let bound_times_key = "bound_times_s"
+
+let encode_bound_times bt =
+  String.concat ","
+    (List.map (fun (b, s) -> Printf.sprintf "%d:%.3f" b s) bt)
+
+let decode_bound_times s =
+  if s = "" then []
+  else
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok ':' with
+        | Some i -> (
+          match
+            ( int_of_string_opt (String.sub tok 0 i),
+              float_of_string_opt
+                (String.sub tok (i + 1) (String.length tok - i - 1)) )
+          with
+          | Some b, Some sec -> Some (b, sec)
+          | _ -> None)
+        | None -> None)
+      (String.split_on_char ',' s)
+
+let elapsed t =
+  Option.bind
+    (List.assoc_opt elapsed_key (to_v3 t).v3_params)
+    float_of_string_opt
+
+let bound_times t =
+  match List.assoc_opt bound_times_key (to_v3 t).v3_params with
+  | Some s -> decode_bound_times s
+  | None -> []
+
 let describe t =
   let frontier =
     let f = to_v3 t in
@@ -201,6 +242,9 @@ let describe t =
       f.v3_round (List.length f.v3_work)
       (List.length f.v3_next)
   in
-  Printf.sprintf "%s: %s%s" t.strategy frontier
+  Printf.sprintf "%s: %s%s%s" t.strategy frontier
+    (match elapsed t with
+    | Some s -> Printf.sprintf " — %.1fs explored so far" s
+    | None -> "")
     (if Collector.snapshot_complete t.collector then " — already complete"
      else "")

@@ -86,5 +86,33 @@ val to_v3 : t -> v3
 
 val meta_find : t -> string -> string option
 
+(** {2 Wall-clock timing}
+
+    The driver stamps cumulative timing into [v3_params] at every save:
+    [elapsed_key] maps to total exploration seconds summed across every
+    interrupted run of the search, [bound_times_key] to a per-round
+    breakdown.  Being string params they extend v3 compatibly (no
+    format bump; older readers ignore them, older files report none) —
+    and they are the only nondeterministic fields a checkpoint carries,
+    so telemetry-neutrality comparisons normalize exactly these two
+    keys away. *)
+
+val elapsed_key : string
+val bound_times_key : string
+
+val elapsed : t -> float option
+(** Cumulative exploration seconds across interruptions, when the
+    writer recorded them. *)
+
+val bound_times : t -> (int * float) list
+(** Seconds spent per strategy round (ICB: per context bound). *)
+
+val encode_bound_times : (int * float) list -> string
+(** The ["round:secs,..."] param encoding ({!decode_bound_times} reads
+    it back; seconds carry millisecond precision). *)
+
+val decode_bound_times : string -> (int * float) list
+
 val describe : t -> string
-(** One human-readable line: strategy, round, frontier sizes. *)
+(** One human-readable line: strategy, round, frontier sizes, and
+    cumulative exploration time when recorded. *)

@@ -4,6 +4,7 @@ type progress = {
   p_bugs : int;
   p_elapsed : float;
   p_bound : int option;
+  p_frontier : int option;
 }
 
 type options = {
@@ -15,6 +16,7 @@ type options = {
   stop_at_first_bug : bool;
   terminal_states_only : bool;
   on_progress : (progress -> unit) option;
+  events : Icb_obs.Emit.t;
 }
 
 let default_options =
@@ -27,6 +29,7 @@ let default_options =
     stop_at_first_bug = false;
     terminal_states_only = false;
     on_progress = None;
+    events = Icb_obs.Emit.null;
   }
 
 let deadline_in secs = Unix.gettimeofday () +. secs
@@ -47,6 +50,7 @@ type t = {
   mutable complete : bool;
   mutable stop_reason : Sresult.stop_reason option;
   mutable current_bound : int option;
+  mutable frontier : int option;
   started : float;
   mutable growth : (int * int) list;          (* reversed *)
   mutable bound_coverage : (int * int) list;  (* reversed *)
@@ -68,6 +72,7 @@ let create opts =
     complete = false;
     stop_reason = None;
     current_bound = None;
+    frontier = None;
     started = Unix.gettimeofday ();
     growth = [];
     bound_coverage = [];
@@ -104,6 +109,8 @@ let executions t = t.executions
 
 let note_bound t bound = t.current_bound <- Some bound
 
+let note_frontier t n = t.frontier <- Some n
+
 type execution_end = {
   depth : int;
   blocks : int;
@@ -126,6 +133,14 @@ let count_switches schedule =
     in
     switches
 
+(* Telemetry names for {!Engine.status}; [Running] at execution end means
+   the execution was truncated by a depth bound. *)
+let status_string : Engine.status -> string = function
+  | Engine.Running -> "truncated"
+  | Engine.Terminated -> "terminated"
+  | Engine.Deadlock _ -> "deadlock"
+  | Engine.Failed _ -> "failed"
+
 let end_execution t (e : execution_end) =
   t.executions <- t.executions + 1;
   if t.opts.terminal_states_only && not (Hashtbl.mem t.visited e.signature)
@@ -135,6 +150,18 @@ let end_execution t (e : execution_end) =
   t.max_preemptions <- max t.max_preemptions e.preemptions;
   t.max_threads <- max t.max_threads e.threads;
   t.growth <- (t.executions, Hashtbl.length t.visited) :: t.growth;
+  (* before bug handling: [stop_at_first_bug] raises from [bug_of], and
+     the execution that exposed the bug must already be in the stream *)
+  if Icb_obs.Emit.enabled t.opts.events then
+    Icb_obs.Emit.emit t.opts.events
+      (Icb_obs.Event.Execution_done
+         {
+           bound = t.current_bound;
+           steps = e.depth;
+           preemptions = e.preemptions;
+           status = status_string e.status;
+           executions = t.executions;
+         });
   let bug_of key msg =
     if not (Hashtbl.mem t.bugs key) then begin
       Hashtbl.add t.bugs key
@@ -148,6 +175,10 @@ let end_execution t (e : execution_end) =
           execution = t.executions;
         };
       t.bug_order <- key :: t.bug_order;
+      if Icb_obs.Emit.enabled t.opts.events then
+        Icb_obs.Emit.emit t.opts.events
+          (Icb_obs.Event.Bug_found
+             { key; preemptions = e.preemptions; execution = t.executions });
       if t.opts.stop_at_first_bug then stop t Sresult.First_bug
     end
   in
@@ -168,6 +199,7 @@ let end_execution t (e : execution_end) =
         p_bugs = Hashtbl.length t.bugs;
         p_elapsed = Unix.gettimeofday () -. t.started;
         p_bound = t.current_bound;
+        p_frontier = t.frontier;
       });
   if over t.opts.max_executions t.executions then
     stop t Sresult.Execution_limit;
@@ -266,6 +298,8 @@ let snapshot_complete s = s.s_complete
 let snapshot_bugs s = s.s_bugs
 
 let snapshot_executions s = s.s_executions
+
+let snapshot_steps s = s.s_total_steps
 
 (* The format-v1 snapshot layout (before the per-bound execution counts
    grew the record): identical except for the missing final

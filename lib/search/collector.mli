@@ -10,6 +10,9 @@ type progress = {
   p_bugs : int;
   p_elapsed : float;   (** seconds since the collector was created *)
   p_bound : int option;(** ICB's current context bound, when applicable *)
+  p_frontier : int option;
+      (** work items seeding the current round, when the driver noted it
+          ({!note_frontier}) *)
 }
 
 type options = {
@@ -29,6 +32,11 @@ type options = {
   on_progress : (progress -> unit) option;
       (** called after every completed execution; throttle on the caller's
           side if the display is expensive *)
+  events : Icb_obs.Emit.t;
+      (** telemetry emitter for [Execution_done]/[Bug_found]; the default
+          {!Icb_obs.Emit.null} costs one branch per execution.  Callers
+          normally leave this alone and pass [?telemetry] to the search
+          entry points, which install per-worker emitters here. *)
 }
 
 val default_options : options
@@ -56,7 +64,12 @@ val seen_states : t -> int
 val executions : t -> int
 
 val note_bound : t -> int -> unit
-(** ICB: the bound now being explored, surfaced in {!progress}. *)
+(** ICB: the bound now being explored, surfaced in {!progress} and
+    stamped on [Execution_done] telemetry events. *)
+
+val note_frontier : t -> int -> unit
+(** The number of items seeding the current round, surfaced as
+    [progress.p_frontier]; the driver notes it at each round start. *)
 
 (** End-of-execution record: engine measurements of the finished (or
     truncated) execution. *)
@@ -123,6 +136,8 @@ val snapshot_bugs : snapshot -> Sresult.bug list
 (** Bugs in discovery order. *)
 
 val snapshot_executions : snapshot -> int
+
+val snapshot_steps : snapshot -> int
 
 type snapshot_v1
 (** The snapshot layout written by format-v1 checkpoints (no per-bound

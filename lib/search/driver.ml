@@ -200,8 +200,8 @@ let fingerprint (type s) (module E : Engine.S with type state = s) =
   Printf.sprintf "%Lx/%d/%s" (E.signature s0) (E.thread_count s0)
     (String.concat "," (List.map string_of_int (E.enabled s0)))
 
-let stamp_fingerprint fp (f : Checkpoint.v3) =
-  { f with Checkpoint.v3_params = f.v3_params @ [ (fingerprint_key, fp) ] }
+(* [stamp] (built in [run]) appends the fingerprint and the cumulative
+   wall-clock timing params to every checkpoint's [v3_params]. *)
 
 let cmp_item a b =
   compare
@@ -214,8 +214,8 @@ let strip_items its = List.map Strategy.prefix_of its
 (* --- serial execution ---------------------------------------------------- *)
 
 let run_serial (type s) (module E : Engine.S with type state = s)
-    (module S : Strategy.S with type state = s) ~fp master
-    (ckpt : Search_core.ckpt_ctl option) resume_v3 =
+    (module S : Strategy.S with type state = s) ~stamp ~note_round_done ~emit
+    master (ckpt : Search_core.ckpt_ctl option) resume_v3 =
   let w = S.wstate () in
   let wstates = [| w |] in
   (* Strict replay: a prefix that no longer replays means the checkpoint
@@ -274,7 +274,7 @@ let run_serial (type s) (module E : Engine.S with type state = s)
           ~next:(strip_items next)
       in
       Search_core.save_checkpoint master ctl ~strategy:S.name
-        ~frontier:(Checkpoint.V3 (stamp_fingerprint fp f))
+        ~frontier:(Checkpoint.V3 (stamp f))
   in
   let periodic () =
     match ckpt with
@@ -288,7 +288,20 @@ let run_serial (type s) (module E : Engine.S with type state = s)
     | None -> ()
     | Some it ->
       let execs0 = Collector.executions master in
+      let steps0 = Collector.total_steps master in
       let defers0 = !defer_len in
+      let item_t0 =
+        if Icb_obs.Emit.enabled emit then begin
+          Icb_obs.Emit.emit emit
+            (Icb_obs.Event.Item_started
+               {
+                 prefix = List.length it.Strategy.i_sched;
+                 payload = it.Strategy.i_payload;
+               });
+          Unix.gettimeofday ()
+        end
+        else 0.0
+      in
       (try S.expand (module E) w ctx it
        with Collector.Stop ->
          (* An item that records exactly one execution, interrupted at
@@ -308,15 +321,29 @@ let run_serial (type s) (module E : Engine.S with type state = s)
          end;
          save ~extra:(if exact then [] else [ it ]) ();
          raise Collector.Stop);
+      if Icb_obs.Emit.enabled emit then
+        Icb_obs.Emit.emit emit
+          (Icb_obs.Event.Item_finished
+             {
+               seconds = Unix.gettimeofday () -. item_t0;
+               executions = Collector.executions master - execs0;
+               steps = Collector.total_steps master - steps0;
+             });
       periodic ();
       drain ()
   in
   let rec rounds items =
+    Collector.note_frontier master (List.length items);
+    if Icb_obs.Emit.enabled emit then
+      Icb_obs.Emit.emit emit
+        (Icb_obs.Event.Bound_started
+           { bound = S.round (); items = List.length items });
     sq.sq_seed (List.map prep items);
     drain ();
     let d = List.rev !deferred in
     deferred := [];
     defer_len := 0;
+    note_round_done (S.round ());
     match S.after_round master ~wstates ~deferred:d with
     | `Complete ->
       Collector.set_complete master;
@@ -346,12 +373,15 @@ let run_serial (type s) (module E : Engine.S with type state = s)
 
 let run_parallel (type s)
     (engines : int -> (module Engine.S with type state = s))
-    (module S : Strategy.S with type state = s) ~fp ~options master
-    (ckpt : Search_core.ckpt_ctl option) resume_v3 ~share_states ~domains =
+    (module S : Strategy.S with type state = s) ~stamp ~note_round_done ~tel
+    ~emit ~options master (ckpt : Search_core.ckpt_ctl option) resume_v3
+    ~share_states ~domains =
   (* Local collectors carry no limits and never raise [Collector.Stop]:
      stopping is decided globally by the progress hook below and honoured
      by workers at item boundaries.  Semantic options (deadlock_is_error,
-     terminal_states_only) are kept. *)
+     terminal_states_only) are kept.  Telemetry is re-installed per
+     worker as a buffered emitter (below), never the master's direct
+     one. *)
   let stripped =
     {
       options with
@@ -361,6 +391,7 @@ let run_parallel (type s)
       deadline = None;
       stop_at_first_bug = false;
       on_progress = None;
+      events = Icb_obs.Emit.null;
     }
   in
   (* Engine instances are created sequentially here, before any domain
@@ -400,6 +431,7 @@ let run_parallel (type s)
      back after join, or under [pm] during checkpoint assembly). *)
   let cur_lcols : Collector.t array ref = ref [||] in
   let cur_nexts : s Strategy.item list ref array ref = ref [||] in
+  let cur_emits : (Icb_obs.Emit.t * (unit -> unit)) array ref = ref [||] in
   let cur_carry : s Strategy.item list ref = ref [] in
   let master_snap = ref (Collector.snapshot master) in
   let remaining_items () =
@@ -413,9 +445,7 @@ let run_parallel (type s)
     | None -> ()
     | Some ctl ->
       Search_core.save_checkpoint col ctl ~strategy:S.name
-        ~frontier:
-          (Checkpoint.V3
-             (stamp_fingerprint fp (S.to_prefixes ~wstates ~work ~next)))
+        ~frontier:(Checkpoint.V3 (stamp (S.to_prefixes ~wstates ~work ~next)))
   in
   (* Mid-round checkpoint, run by the last worker to park (all other live
      workers are blocked on [pc], so their collectors, next-lists, deques
@@ -483,7 +513,7 @@ let run_parallel (type s)
   (* The per-execution hook installed in every worker's collector: bump
      the global counters, enforce the caller's limits by setting the stop
      flag, and relay aggregated progress to the caller's own hook. *)
-  let mk_hook cell ~base_execs ~base_states ~base_steps ~base_bugs =
+  let mk_hook cell ~base_execs ~base_states ~base_steps ~base_bugs ~frontier =
     let prev_states = ref 0 and prev_steps = ref 0 and prev_bugs = ref 0 in
     fun (p : Collector.progress) ->
       let lcol = Option.get !cell in
@@ -526,11 +556,13 @@ let run_parallel (type s)
                 p_bugs = base_bugs + bugs;
                 p_elapsed = Collector.elapsed master;
                 p_bound = Some (S.round ());
+                p_frontier = Some frontier;
               })
   in
   let worker i () =
     let (module E : Engine.S with type state = s) = engs.(i) in
     let lcol = !cur_lcols.(i) in
+    let w_emit = fst !cur_emits.(i) in
     let next = !cur_nexts.(i) in
     let w = wstates.(i) in
     let rng = rngs.(i) in
@@ -600,11 +632,33 @@ let run_parallel (type s)
         match take () with
         | Some it ->
           Atomic.incr busy;
+          let execs0 = Collector.executions lcol in
+          let steps0 = Collector.total_steps lcol in
+          let item_t0 =
+            if Icb_obs.Emit.enabled w_emit then begin
+              Icb_obs.Emit.emit w_emit
+                (Icb_obs.Event.Item_started
+                   {
+                     prefix = List.length it.Strategy.i_sched;
+                     payload = it.Strategy.i_payload;
+                   });
+              Unix.gettimeofday ()
+            end
+            else 0.0
+          in
           (match S.expand (module E) w ctx it with
           | () -> Atomic.decr busy
           | exception e ->
             Atomic.decr busy;
             raise e);
+          if Icb_obs.Emit.enabled w_emit then
+            Icb_obs.Emit.emit w_emit
+              (Icb_obs.Event.Item_finished
+                 {
+                   seconds = Unix.gettimeofday () -. item_t0;
+                   executions = Collector.executions lcol - execs0;
+                   steps = Collector.total_steps lcol - steps0;
+                 });
           maybe_request_ckpt ();
           loop ()
         | None ->
@@ -629,6 +683,11 @@ let run_parallel (type s)
       else List.map (fun it -> { it with Strategy.i_state = None }) work
     in
     List.iteri (fun k it -> Dq.push_back deques.(k mod domains) it) work;
+    let n_work = List.length work in
+    Collector.note_frontier master n_work;
+    if Icb_obs.Emit.enabled emit then
+      Icb_obs.Emit.emit emit
+        (Icb_obs.Event.Bound_started { bound = S.round (); items = n_work });
     cur_carry := carry;
     master_snap := Collector.snapshot master;
     let base_execs = Collector.executions master in
@@ -643,14 +702,27 @@ let run_parallel (type s)
     Atomic.set pause false;
     parked := 0;
     running := domains;
+    let emits =
+      Array.init domains (fun i ->
+          match tel with
+          | None -> (Icb_obs.Emit.null, fun () -> ())
+          | Some t -> Icb_obs.Telemetry.buffered t ~worker:i)
+    in
+    cur_emits := emits;
     let lcols =
-      Array.init domains (fun _ ->
+      Array.init domains (fun i ->
           let cell = ref None in
           let hook =
             mk_hook cell ~base_execs ~base_states ~base_steps ~base_bugs
+              ~frontier:n_work
           in
           let c =
-            Collector.create { stripped with Collector.on_progress = Some hook }
+            Collector.create
+              {
+                stripped with
+                Collector.on_progress = Some hook;
+                events = fst emits.(i);
+              }
           in
           cell := Some c;
           c)
@@ -662,14 +734,30 @@ let run_parallel (type s)
     Array.iter Domain.join doms;
     (match Atomic.get failed with Some exn -> raise exn | None -> ());
     (* the deterministic barrier merge *)
+    let snaps = Array.map Collector.snapshot lcols in
     let candidates = ref [] in
     Array.iter
-      (fun lcol ->
-        let sn = Collector.snapshot lcol in
+      (fun sn ->
         Collector.merge_stats master sn;
         candidates := Collector.snapshot_bugs sn @ !candidates)
-      lcols;
+      snaps;
     absorb_bugs master !candidates;
+    (* telemetry: flush the worker streams in worker order — the merged
+       trace is deterministic up to timestamps — then stamp each
+       worker's round totals *)
+    Array.iteri
+      (fun i (_, flush) ->
+        flush ();
+        if Icb_obs.Emit.enabled emit then
+          Icb_obs.Emit.emit emit
+            (Icb_obs.Event.Worker_stats
+               {
+                 stats_for = i;
+                 executions = Collector.snapshot_executions snaps.(i);
+                 steps = Collector.snapshot_steps snaps.(i);
+                 bugs = List.length (Collector.snapshot_bugs snaps.(i));
+               }))
+      emits;
     let next_items =
       sorted_items (carry @ Array.fold_left (fun acc r -> acc @ !r) [] nexts)
     in
@@ -681,6 +769,7 @@ let run_parallel (type s)
       Collector.set_complete master
     else begin
       let next_items, stop_r = run_round ~work ~carry in
+      note_round_done (S.round ());
       match stop_r with
       | Some r ->
         Collector.note_stop master r;
@@ -712,7 +801,7 @@ let default_checkpoint_every = Search_core.default_checkpoint_every
 let run (type s) (engines : int -> (module Engine.S with type state = s))
     ?(options = Collector.default_options) ?checkpoint_out
     ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_meta = [])
-    ?resume_from ?(share_states = false) ~domains
+    ?resume_from ?telemetry ?(share_states = false) ~domains
     (module S : Strategy.S with type state = s) : Sresult.t =
   if domains < 1 then invalid_arg "Driver.run: domains must be at least 1";
   if domains > 1 && not S.shardable then
@@ -728,6 +817,17 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
          "Driver.run: strategy %s does not support checkpoint/resume \
           (supported: icb, dfs, db:N, idfs:N, random, pct:N, most-enabled)"
          S.name);
+  let emit =
+    match telemetry with
+    | None -> Icb_obs.Emit.null
+    | Some t -> Icb_obs.Telemetry.emitter t ~worker:0
+  in
+  (* the telemetry handle owns event wiring; a caller-supplied
+     [options.events] is only honoured when no handle is given *)
+  let options =
+    if Icb_obs.Emit.enabled emit then { options with Collector.events = emit }
+    else options
+  in
   let fp =
     (* only needed when a checkpoint is read or written *)
     if checkpoint_out <> None || resume_from <> None then
@@ -758,6 +858,54 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
     | None -> Collector.create options
     | Some (c : Checkpoint.t) -> Collector.restore options c.collector
   in
+  (* Cumulative wall-clock accounting, carried across interruptions via
+     checkpoint params: [base_elapsed]/[bound_times] seed from the
+     resumed file, [note_round_done] charges each completed round, and
+     [stamp] writes fingerprint + timing into every save (charging the
+     current partial round without closing it). *)
+  let run_started_at = Unix.gettimeofday () in
+  let param key =
+    Option.bind resume_v3 (fun (f : Checkpoint.v3) ->
+        List.assoc_opt key f.Checkpoint.v3_params)
+  in
+  let base_elapsed =
+    Option.value
+      (Option.bind (param Checkpoint.elapsed_key) float_of_string_opt)
+      ~default:0.0
+  in
+  let bound_times =
+    ref
+      (match param Checkpoint.bound_times_key with
+      | Some s -> Checkpoint.decode_bound_times s
+      | None -> [])
+  in
+  let round_started = ref run_started_at in
+  let add_bound_time bt (b, d) =
+    if List.mem_assoc b bt then
+      List.map (fun (b', s) -> if b' = b then (b', s +. d) else (b', s)) bt
+    else if d < 0.0005 then bt (* no entries for rounds never explored *)
+    else bt @ [ (b, d) ]
+  in
+  let note_round_done r =
+    let now = Unix.gettimeofday () in
+    bound_times := add_bound_time !bound_times (r, now -. !round_started);
+    round_started := now
+  in
+  let stamp (f : Checkpoint.v3) =
+    let now = Unix.gettimeofday () in
+    let bt = add_bound_time !bound_times (S.round (), now -. !round_started) in
+    {
+      f with
+      Checkpoint.v3_params =
+        f.Checkpoint.v3_params
+        @ [
+            (fingerprint_key, fp);
+            ( Checkpoint.elapsed_key,
+              Printf.sprintf "%.3f" (base_elapsed +. now -. run_started_at) );
+            (Checkpoint.bound_times_key, Checkpoint.encode_bound_times bt);
+          ];
+    }
+  in
   let ckpt =
     Option.map
       (fun path ->
@@ -766,14 +914,32 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
           ck_every = max 1 checkpoint_every;
           ck_meta = checkpoint_meta;
           ck_last = Collector.executions master;
+          ck_events = emit;
         })
       checkpoint_out
   in
+  if Icb_obs.Emit.enabled emit then
+    Icb_obs.Emit.emit emit
+      (Icb_obs.Event.Run_started
+         { strategy = S.name; domains; resumed = resume_from <> None });
   (try
      if domains = 1 then
-       run_serial (engines 0) (module S) ~fp master ckpt resume_v3
+       run_serial (engines 0) (module S) ~stamp ~note_round_done ~emit master
+         ckpt resume_v3
      else
-       run_parallel engines (module S) ~fp ~options master ckpt resume_v3
-         ~share_states ~domains
+       run_parallel engines (module S) ~stamp ~note_round_done ~tel:telemetry
+         ~emit ~options master ckpt resume_v3 ~share_states ~domains
    with Collector.Stop -> ());
-  Collector.result master ~strategy:S.name
+  let res = Collector.result master ~strategy:S.name in
+  if Icb_obs.Emit.enabled emit then
+    Icb_obs.Emit.emit emit
+      (Icb_obs.Event.Run_finished
+         {
+           executions = res.Sresult.executions;
+           states = res.Sresult.distinct_states;
+           bugs = List.length res.Sresult.bugs;
+           complete = res.Sresult.complete;
+           stop_reason =
+             Option.map Sresult.stop_reason_string res.Sresult.stop_reason;
+         });
+  res

@@ -54,11 +54,11 @@ let default_checkpoint_every = Search_core.default_checkpoint_every
    domain-bound state internals still work. *)
 let run (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?(domains = 1) strategy =
+    ?telemetry ?(domains = 1) strategy =
   Driver.run
     (fun _ -> (module E : Engine.S with type state = s))
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ~domains
+    ?telemetry ~domains
     (instantiate (module E) strategy)
 
 let strategy_of_checkpoint (c : Checkpoint.t) =
@@ -109,7 +109,7 @@ let strategy_of_checkpoint (c : Checkpoint.t) =
          "Explore.strategy_of_checkpoint: unknown strategy tag %S" tag)
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
-    ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?domains
+    ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?telemetry ?domains
     (c : Checkpoint.t) =
   let checkpoint_meta =
     match checkpoint_meta with Some m -> m | None -> c.meta
@@ -117,13 +117,16 @@ let resume (type s) (module E : Engine.S with type state = s) ?options
   run
     (module E)
     ?options ?checkpoint_out ?checkpoint_every ~checkpoint_meta
-    ~resume_from:c ?domains
+    ~resume_from:c ?telemetry ?domains
     (strategy_of_checkpoint c)
 
 let check (type s) (module E : Engine.S with type state = s)
-    ?(options = Collector.default_options) ?max_bound ?domains () =
+    ?(options = Collector.default_options) ?max_bound ?telemetry ?domains () =
   let options = { options with Collector.stop_at_first_bug = true } in
-  let r = run (module E) ~options ?domains (Icb { max_bound; cache = false }) in
+  let r =
+    run (module E) ~options ?telemetry ?domains
+      (Icb { max_bound; cache = false })
+  in
   match r.Sresult.bugs with
   | bug :: _ -> Some bug
   | [] -> None

@@ -61,6 +61,7 @@ val run :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Checkpoint.t ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   strategy ->
   Sresult.t
@@ -96,6 +97,7 @@ val resume :
   ?checkpoint_out:string ->
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   Checkpoint.t ->
   Sresult.t
@@ -111,6 +113,7 @@ val check :
   (module Engine.S with type state = 's) ->
   ?options:Collector.options ->
   ?max_bound:int ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   unit ->
   Sresult.bug option

@@ -53,6 +53,7 @@ val run :
   ?checkpoint_every:int ->
   ?checkpoint_meta:(string * string) list ->
   ?resume_from:Checkpoint.t ->
+  ?telemetry:Icb_obs.Telemetry.t ->
   ?share_states:bool ->
   domains:int ->
   max_bound:int option ->

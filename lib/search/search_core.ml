@@ -118,6 +118,7 @@ type ckpt_ctl = {
   ck_every : int;               (* executions between periodic saves *)
   ck_meta : (string * string) list;
   mutable ck_last : int;        (* executions at the last save *)
+  ck_events : Icb_obs.Emit.t;   (* telemetry for Checkpoint_written *)
 }
 
 let save_checkpoint col ctl ~strategy ~frontier =
@@ -128,4 +129,8 @@ let save_checkpoint col ctl ~strategy ~frontier =
       collector = Collector.snapshot col;
       frontier;
     };
-  ctl.ck_last <- Collector.executions col
+  ctl.ck_last <- Collector.executions col;
+  if Icb_obs.Emit.enabled ctl.ck_events then
+    Icb_obs.Emit.emit ctl.ck_events
+      (Icb_obs.Event.Checkpoint_written
+         { path = ctl.ck_path; executions = Collector.executions col })

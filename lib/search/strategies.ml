@@ -77,6 +77,10 @@ let icb (type s) (module _ : Engine.S with type state = s) ~max_bound ~cache :
         []
 
     let expand (module E : Engine.S with type state = state) table ctx it =
+      (* also on the expanding collector: a parallel worker's local
+         collector never sees [roots]/[after_round], and its telemetry
+         events must still carry the bound being explored *)
+      Collector.note_bound ctx.Strategy.c_col !bound;
       match ctx.Strategy.c_materialize it with
       | None -> ()
       | Some st ->
