@@ -769,6 +769,137 @@ let parallel_bench () =
       cores;
   if !failed then exit 1 else print_endline "parallel equivalence: OK"
 
+(* ------------------------------------------------------------------------- *)
+(* Repro: minimization of random-found witnesses                             *)
+(* ------------------------------------------------------------------------- *)
+
+(* For every registry model: find a bug with a seed-fixed random walk (a
+   long, preemption-heavy witness), minimize it with the repro
+   subsystem, replay-verify the result, and compare its preemption count
+   against the ICB witness for the same bug key — minimization must do
+   at least as well as ICB's bound guarantee.  Exit code 1 if any
+   witness fails to verify or beats no ICB witness. *)
+let repro_bench () =
+  section "Repro: schedule minimization of random-found bugs";
+  let failed = ref false in
+  let check what ok =
+    Printf.printf "  %-64s %s\n" what (if ok then "OK" else "FAIL");
+    if not ok then failed := true
+  in
+  (* every registry model that has a bug variant, plus Peterson (the
+     extra model beyond the paper's suite) — six buggy programs *)
+  let targets =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        match e.bugs with
+        | [] -> None
+        | (b : Registry.bug_spec) :: _ -> Some (e.model_name, b.bug_program))
+      Registry.all
+    @ [
+        ( "Peterson",
+          fun () ->
+            Icb_models.Peterson.program
+              Icb_models.Peterson.Bug_check_before_set );
+      ]
+  in
+  let rows =
+    List.filter_map
+      (fun (model_name, bug_program) ->
+          let prog = bug_program () in
+          let rw =
+            Icb.run
+              ~options:
+                {
+                  Collector.default_options with
+                  stop_at_first_bug = true;
+                  max_executions = Some 50_000;
+                }
+              ~strategy:(Explore.Random_walk { seed = 2007L })
+              prog
+          in
+          (match rw.Sresult.bugs with
+          | [] ->
+            check (model_name ^ ": random walk finds a bug") false;
+            None
+          | bug :: _ ->
+            let module E = (val Icb.engine prog) in
+            (match Icb_repro.Minimize.bug (module E) bug with
+            | Error msg ->
+              check
+                (Printf.sprintf "%s: witness minimizes (%s)" model_name msg)
+                false;
+              None
+            | Ok s ->
+              let m = s.Icb_repro.Minimize.minimized in
+              let verified =
+                Icb_repro.Sched.probe
+                  (module E)
+                  ~deadlock_is_error:true ~key:bug.Sresult.key
+                  ~steps:(ref max_int) m.Icb_repro.Sched.schedule
+                <> None
+              in
+              check
+                (Printf.sprintf "%s: minimized witness replays (%s)"
+                   model_name bug.Sresult.key)
+                verified;
+              (* ICB's witness for the same key: the full bounded search
+                 at the minimized preemption count must contain it *)
+              let icb =
+                Icb.run
+                  ~strategy:
+                    (Explore.Icb
+                       {
+                         max_bound = Some m.Icb_repro.Sched.preemptions;
+                         cache = true;
+                       })
+                  prog
+              in
+              let icb_preemptions =
+                match
+                  List.find_opt
+                    (fun (x : Sresult.bug) -> x.key = bug.Sresult.key)
+                    icb.Sresult.bugs
+                with
+                | Some x -> x.Sresult.preemptions
+                | None -> -1
+              in
+              check
+                (Printf.sprintf "%s: minimized preemptions <= ICB witness"
+                   model_name)
+                (icb_preemptions >= 0
+                && m.Icb_repro.Sched.preemptions <= icb_preemptions);
+              Some
+                [
+                  model_name;
+                  bug.Sresult.key;
+                  string_of_int bug.Sresult.depth;
+                  string_of_int bug.Sresult.preemptions;
+                  string_of_int m.Icb_repro.Sched.depth;
+                  string_of_int m.Icb_repro.Sched.preemptions;
+                  string_of_int icb_preemptions;
+                  (if s.Icb_repro.Minimize.proven_minimal then "yes"
+                   else "no");
+                  string_of_int s.Icb_repro.Minimize.candidates;
+                ]))
+          )
+      targets
+  in
+  subsection "random-found witness vs. minimized witness";
+  print_table
+    [
+      "Program";
+      "Bug key";
+      "Found len";
+      "Found pre";
+      "Min len";
+      "Min pre";
+      "ICB pre";
+      "Proven";
+      "Replays";
+    ]
+    rows;
+  if !failed then exit 1 else print_endline "repro minimization: OK"
+
 let experiments =
   [
     ("table1", table1);
@@ -787,6 +918,7 @@ let experiments =
     ("ablation-find", ablation_find);
     ("timings", timings);
     ("parallel", parallel_bench);
+    ("repro", repro_bench);
   ]
 
 let () =

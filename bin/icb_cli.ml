@@ -8,13 +8,23 @@
    icb compile FILE          -- type-check and dump the compiled program
    icb models                -- list bundled benchmark models
    icb check-model NAME      -- check a bundled model (e.g. "bluetooth:bug")
+   icb repro min BUNDLE      -- minimize a repro bundle's witness
+   icb repro run BUNDLE      -- replay a bundle and print the bug report
+   icb repro verify BUNDLE   -- replay a bundle, check the recorded outcome
+   icb triage DIR            -- cluster a directory of repro bundles
 
    check, check-model, resume and explore take --jobs N to shard the
    search across N OCaml domains; every strategy whose frontier shards
    (icb, dfs, db:N, idfs:N, random, pct:N) accepts it (docs/PARALLEL.md).
    The same four commands take --trace/--metrics/--metrics-every to
    stream structured telemetry and --quiet to silence the progress line
-   (docs/OBSERVABILITY.md). *)
+   (docs/OBSERVABILITY.md), and --repro-dir DIR to drop one repro bundle
+   per deduplicated bug (docs/REPRO.md).
+
+   Exit codes: 0 ok / no bug, 1 bug found (or triage found new bugs
+   against a --known baseline), 2 usage or input error, 3 interrupted
+   with a partial result, 4 repro verification failure (a bundle that no
+   longer reproduces its recorded bug). *)
 
 open Cmdliner
 module Obs = Icb_obs
@@ -136,6 +146,25 @@ let metrics_every_arg =
   in
   Arg.(value & opt float 5.0 & info [ "metrics-every" ] ~docv:"SECS" ~doc)
 
+let repro_dir_arg =
+  let doc =
+    "Write one repro bundle per deduplicated bug into $(docv) (created if \
+     missing): a versioned, checksummed $(b,.repro) file recording the \
+     program, strategy, seed and replayable witness schedule.  Filenames \
+     are content-derived, so re-running drops nothing new for \
+     already-recorded witnesses.  Minimize with $(b,icb repro min), \
+     replay with $(b,icb repro run), cluster with $(b,icb triage).  See \
+     docs/REPRO.md."
+  in
+  Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+
+let first_bug_arg =
+  let doc =
+    "Stop the search at the first bug instead of exploring the whole \
+     space (what $(b,icb check) always does)."
+  in
+  Arg.(value & flag & info [ "first-bug" ] ~doc)
+
 let config_of_granularity = function
   | `Sync -> Icb_search.Mach_engine.default_config
   | `Every -> Icb_search.Mach_engine.zing_config
@@ -252,6 +281,34 @@ let options_of ~no_deadlock ~timeout rt =
     on_progress = rt.rt_on_progress;
   }
 
+(* One bundle per deduplicated bug, after the run; a failed write warns
+   but never changes the search's own exit code. *)
+let drop_bundles ~repro_dir ~prog ~config ~no_deadlock ~gran ~kind ~target
+    ~strategy ~seed ~quiet (r : Icb_search.Sresult.t) =
+  match repro_dir with
+  | None -> ()
+  | Some dir -> (
+    if r.Icb_search.Sresult.bugs <> [] then
+      let module E = (val Icb.engine ~config prog) in
+      match
+        Icb_repro.Store.drop
+          (module E)
+          ~dir ~deadlock_is_error:(not no_deadlock) ~kind ~target ~strategy
+          ~seed
+          ~meta:[ ("granularity", granularity_name gran) ]
+          r.Icb_search.Sresult.bugs
+      with
+      | Ok [] ->
+        if not quiet then
+          Format.eprintf "[icb] repro bundles already present in %s@." dir
+      | Ok paths ->
+        if not quiet then
+          Format.eprintf "[icb] wrote %d repro bundle%s to %s@."
+            (List.length paths)
+            (if List.length paths = 1 then "" else "s")
+            dir
+      | Error msg -> Format.eprintf "cannot write repro bundles: %s@." msg)
+
 (* --- check / check-model / resume ------------------------------------------- *)
 
 let report_bug prog (bug : Icb.bug) =
@@ -264,7 +321,7 @@ let report_bug prog (bug : Icb.bug) =
    first bug, with optional deadline and checkpointing.  Exit codes:
    0 no bug, 1 bug found, 2 usage error, 3 interrupted (partial result). *)
 let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
-    ~checkpoint_every ~resume_from ~jobs () =
+    ~checkpoint_every ~resume_from ~jobs ~repro_dir ~seed () =
   validate_checkpoint_path checkpoint;
   if jobs < 1 then begin
     Format.eprintf "--jobs must be at least 1@.";
@@ -292,6 +349,13 @@ let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
         prog
   in
   rt.rt_finish r;
+  drop_bundles ~repro_dir ~prog ~config
+    ~no_deadlock:(not options.Icb_search.Collector.deadlock_is_error)
+    ~gran
+    ~kind:(Option.value (List.assoc_opt "kind" meta) ~default:"file")
+    ~target:(Option.value (List.assoc_opt "target" meta) ~default:"?")
+    ~strategy:(Printf.sprintf "icb:%d" bound)
+    ~seed ~quiet:rt.rt_quiet r;
   match r.Icb_search.Sresult.bugs with
   | bug :: _ ->
     report_bug prog bug;
@@ -314,7 +378,8 @@ let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
       exit 3)
 
 let check_run path bound seed no_deadlock gran timeout checkpoint
-    checkpoint_every jobs progress trace metrics metrics_every quiet =
+    checkpoint_every jobs progress trace metrics metrics_every quiet repro_dir
+    =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -335,7 +400,8 @@ let check_run path bound seed no_deadlock gran timeout checkpoint
     in
     run_check ~prog ~meta ~bound ~rt
       ~options:(options_of ~no_deadlock ~timeout rt)
-      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ~repro_dir
+      ~seed ()
 
 let check_cmd =
   let path =
@@ -362,12 +428,13 @@ let check_cmd =
       const check_run $ path $ bound_arg $ seed_arg $ no_deadlock_arg
       $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
       $ jobs_arg $ progress_arg $ trace_arg $ metrics_arg $ metrics_every_arg
-      $ quiet_arg)
+      $ quiet_arg $ repro_dir_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
 let check_model_run name bound seed no_deadlock gran timeout checkpoint
-    checkpoint_every jobs progress trace metrics metrics_every quiet =
+    checkpoint_every jobs progress trace metrics metrics_every quiet repro_dir
+    =
   match resolve_model name with
   | Error msg ->
     Format.eprintf "%s@." msg;
@@ -388,7 +455,8 @@ let check_model_run name bound seed no_deadlock gran timeout checkpoint
     in
     run_check ~prog ~meta ~bound ~rt
       ~options:(options_of ~no_deadlock ~timeout rt)
-      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ()
+      ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ~repro_dir
+      ~seed ()
 
 let check_model_cmd =
   let model_name =
@@ -408,12 +476,12 @@ let check_model_cmd =
       const check_model_run $ model_name $ bound_arg $ seed_arg
       $ no_deadlock_arg $ granularity_arg $ timeout_arg $ checkpoint_arg
       $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
-      $ metrics_arg $ metrics_every_arg $ quiet_arg)
+      $ metrics_arg $ metrics_every_arg $ quiet_arg $ repro_dir_arg)
 
 (* --- resume ------------------------------------------------------------------- *)
 
 let resume_run file timeout checkpoint checkpoint_every jobs progress trace
-    metrics metrics_every quiet =
+    metrics metrics_every quiet repro_dir first_bug =
   match Icb_search.Checkpoint.load file with
   | exception Icb_search.Checkpoint.Corrupt msg ->
     Format.eprintf "%s@." msg;
@@ -471,10 +539,14 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress trace
         make_runtime ?max_execs ~trace ~metrics ~metrics_every ~quiet
           ~progress ~timeout ()
       in
+      (* --first-bug on the resume itself, or recorded by the original
+         `icb explore --first-bug` in the checkpoint *)
+      let first_bug = first_bug || meta "first-bug" = Some "true" in
       let options =
         {
           (options_of ~no_deadlock ~timeout rt) with
           Icb_search.Collector.max_executions = max_execs;
+          stop_at_first_bug = first_bug;
         }
       in
       let r =
@@ -488,6 +560,15 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress trace
           exit 2
       in
       rt.rt_finish r;
+      drop_bundles ~repro_dir ~prog ~config ~no_deadlock ~gran
+        ~kind:(Option.value (meta "kind") ~default:"file")
+        ~target:(Option.value (meta "target") ~default:"?")
+        ~strategy:(Option.value (meta "strategy") ~default:"?")
+        ~seed:
+          (Option.value
+             (Option.bind (meta "seed") Int64.of_string_opt)
+             ~default:2007L)
+        ~quiet r;
       Format.printf "%a@." Icb_search.Sresult.pp_summary r;
       List.iter
         (fun (bug : Icb.bug) -> Format.printf "@.%a@." Icb.pp_bug bug)
@@ -511,7 +592,12 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress trace
       ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran
       ~checkpoint:(Some (Option.value checkpoint ~default:file))
-      ~checkpoint_every ~resume_from:(Some ckpt) ~jobs ())
+      ~checkpoint_every ~resume_from:(Some ckpt) ~jobs ~repro_dir
+      ~seed:
+        (Option.value
+           (Option.bind (meta "seed") Int64.of_string_opt)
+           ~default:2007L)
+      ())
 
 let resume_cmd =
   let file =
@@ -541,7 +627,8 @@ let resume_cmd =
     Term.(
       const resume_run $ file $ timeout_arg $ checkpoint_arg
       $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
-      $ metrics_arg $ metrics_every_arg $ quiet_arg)
+      $ metrics_arg $ metrics_every_arg $ quiet_arg $ repro_dir_arg
+      $ first_bug_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -617,17 +704,35 @@ let parse_strategy ~seed s =
     | None -> bad ())
   | _ -> bad ()
 
-let explore_run path strategy_str seed no_deadlock gran max_execs timeout
-    checkpoint checkpoint_every jobs progress trace metrics metrics_every
-    quiet =
-  match load_program path, parse_strategy ~seed strategy_str with
-  | exception Icb.Compile_error msg ->
+let explore_run path model strategy_str seed no_deadlock gran max_execs
+    timeout checkpoint checkpoint_every jobs progress trace metrics
+    metrics_every quiet repro_dir first_bug =
+  let kind, target, prog =
+    match (path, model) with
+    | Some _, Some _ ->
+      Format.eprintf "FILE and --model are mutually exclusive@.";
+      exit 2
+    | None, None ->
+      Format.eprintf "one of FILE or --model NAME is required@.";
+      exit 2
+    | Some path, None -> (
+      match load_program path with
+      | prog -> ("file", path, prog)
+      | exception Icb.Compile_error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2)
+    | None, Some name -> (
+      match resolve_model name with
+      | Ok prog -> ("model", name, prog)
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2)
+  in
+  match parse_strategy ~seed strategy_str with
+  | Error msg ->
     Format.eprintf "%s@." msg;
     exit 2
-  | _, Error msg ->
-    Format.eprintf "%s@." msg;
-    exit 2
-  | prog, Ok strategy ->
+  | Ok strategy ->
     validate_checkpoint_path checkpoint;
     if jobs < 1 then begin
       Format.eprintf "--jobs must be at least 1@.";
@@ -642,18 +747,20 @@ let explore_run path strategy_str seed no_deadlock gran max_execs timeout
       {
         (options_of ~no_deadlock ~timeout rt) with
         Icb_search.Collector.max_executions = max_execs;
+        stop_at_first_bug = first_bug;
       }
     in
     let meta =
       [
         ("mode", "explore");
-        ("kind", "file");
-        ("target", path);
+        ("kind", kind);
+        ("target", target);
         ("strategy", strategy_str);
         ("seed", Int64.to_string seed);
         ("granularity", granularity_name gran);
         ("no-deadlock", string_of_bool no_deadlock);
       ]
+      @ (if first_bug then [ ("first-bug", "true") ] else [])
       @
       match max_execs with
       | Some n -> [ ("max-executions", string_of_int n) ]
@@ -672,6 +779,8 @@ let explore_run path strategy_str seed no_deadlock gran max_execs timeout
         exit 2
     in
     rt.rt_finish r;
+    drop_bundles ~repro_dir ~prog ~config ~no_deadlock ~gran ~kind ~target
+      ~strategy:strategy_str ~seed ~quiet r;
     Format.printf "%a@." Icb_search.Sresult.pp_summary r;
     List.iter
       (fun (bug : Icb.bug) ->
@@ -686,18 +795,29 @@ let explore_run path strategy_str seed no_deadlock gran max_execs timeout
 let explore_cmd =
   let path =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Model source file.")
+      & info [] ~docv:"FILE"
+          ~doc:"Model source file (or use $(b,--model) for a bundled one).")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Explore a bundled model (a name printed by $(b,icb models)) \
+             instead of a source FILE.")
   in
   let doc = "explore a model's state space with a chosen strategy" in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const explore_run $ path $ strategy_arg $ seed_arg $ no_deadlock_arg
-      $ granularity_arg $ max_execs_arg $ timeout_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
-      $ metrics_arg $ metrics_every_arg $ quiet_arg)
+      const explore_run $ path $ model $ strategy_arg $ seed_arg
+      $ no_deadlock_arg $ granularity_arg $ max_execs_arg $ timeout_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ jobs_arg $ progress_arg
+      $ trace_arg $ metrics_arg $ metrics_every_arg $ quiet_arg
+      $ repro_dir_arg $ first_bug_arg)
 
 (* --- report ------------------------------------------------------------------- *)
 
@@ -873,6 +993,322 @@ let models_cmd =
   let doc = "list the bundled benchmark models" in
   Cmd.v (Cmd.info "models" ~doc) Term.(const models_run $ const ())
 
+(* --- repro -------------------------------------------------------------------- *)
+
+let load_bundle path =
+  match Icb_repro.Bundle.load path with
+  | t -> t
+  | exception Icb_repro.Bundle.Corrupt msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+  | exception Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+
+(* Rebuild the program a bundle records (checkpoint provenance
+   conventions) and its engine at the recorded granularity. *)
+let engine_of_bundle (t : Icb_repro.Bundle.t) =
+  let prog =
+    match t.kind with
+    | "model" -> (
+      match resolve_model t.target with
+      | Ok p -> p
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2)
+    | "file" -> (
+      match load_program t.target with
+      | p -> p
+      | exception Icb.Compile_error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+      | exception Sys_error msg ->
+        Format.eprintf
+          "cannot reload the bundled program: %s (the bundle records the \
+           model by path)@."
+          msg;
+        exit 2)
+    | kind ->
+      Format.eprintf "bundle records unknown program kind %S@." kind;
+      exit 2
+  in
+  let gran =
+    if List.assoc_opt "granularity" t.meta = Some "every" then `Every
+    else `Sync
+  in
+  (Icb.engine ~config:(config_of_granularity gran) prog, prog)
+
+let bundle_pos =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BUNDLE"
+        ~doc:"Repro bundle written by $(b,--repro-dir) or $(b,icb repro min).")
+
+let repro_verify_run path quiet =
+  let t = load_bundle path in
+  let engine, _ = engine_of_bundle t in
+  let module E = (val engine) in
+  match Icb_repro.Bundle.verify (module E) t with
+  | Ok w ->
+    if not quiet then
+      Format.printf "verified: %s (%d step%s, %d preemption%s)@."
+        (Icb_repro.Bundle.describe t) w.Icb_repro.Sched.depth
+        (if w.Icb_repro.Sched.depth = 1 then "" else "s")
+        w.Icb_repro.Sched.preemptions
+        (if w.Icb_repro.Sched.preemptions = 1 then "" else "s")
+  | Error msg ->
+    Format.eprintf "verification failed: %s@." msg;
+    exit 4
+
+let repro_verify_cmd =
+  let doc = "replay a bundle and check it still reproduces its bug" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Rebuilds the bundle's program, replays the recorded schedule and \
+         demands full agreement: the same bug key exactly at the end of \
+         the schedule (not earlier, not later) and the recorded \
+         preemption, context-switch and depth counts.  Exit code 4 on any \
+         disagreement — the program changed, the wrong variant was \
+         rebuilt, or the bundle predates a behavioural change.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc ~man)
+    Term.(const repro_verify_run $ bundle_pos $ quiet_arg)
+
+let repro_run_run path =
+  let t = load_bundle path in
+  let engine, prog = engine_of_bundle t in
+  let module E = (val engine) in
+  match Icb_repro.Bundle.verify (module E) t with
+  | Error msg ->
+    Format.eprintf "bundle does not reproduce: %s@." msg;
+    exit 4
+  | Ok w ->
+    report_bug prog
+      {
+        Icb_search.Sresult.key = t.bug_key;
+        msg = t.bug_msg;
+        schedule = t.schedule;
+        preemptions = w.Icb_repro.Sched.preemptions;
+        context_switches = w.Icb_repro.Sched.context_switches;
+        depth = w.Icb_repro.Sched.depth;
+        execution = 0;
+      }
+
+let repro_run_cmd =
+  let doc = "replay a bundle and print the full bug report" in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const repro_run_run $ bundle_pos)
+
+let repro_min_run path out max_steps trace quiet =
+  validate_out_path "the event trace" trace;
+  Option.iter (fun o -> validate_out_path "the minimized bundle" (Some o)) out;
+  let t = load_bundle path in
+  let engine, _ = engine_of_bundle t in
+  let module E = (val engine) in
+  let telemetry =
+    Option.map
+      (fun f ->
+        let h = Obs.Telemetry.create () in
+        Obs.Telemetry.add_trace h f;
+        h)
+      trace
+  in
+  let emit =
+    match telemetry with
+    | Some h -> Obs.Telemetry.emitter h ~worker:0
+    | None -> Obs.Emit.null
+  in
+  let budget =
+    {
+      Icb_repro.Minimize.default_budget with
+      max_engine_steps =
+        Option.value max_steps
+          ~default:Icb_repro.Minimize.default_budget.max_engine_steps;
+    }
+  in
+  let result =
+    Icb_repro.Minimize.run
+      (module E)
+      ~budget
+      ~deadlock_is_error:t.deadlocks_are_errors ~emit ~key:t.bug_key
+      t.schedule
+  in
+  Option.iter Obs.Telemetry.close telemetry;
+  match result with
+  | Error msg ->
+    Format.eprintf "cannot minimize: %s@." msg;
+    exit 4
+  | Ok s ->
+    let m = s.Icb_repro.Minimize.minimized in
+    let t' =
+      {
+        t with
+        Icb_repro.Bundle.schedule = m.Icb_repro.Sched.schedule;
+        preemptions = m.Icb_repro.Sched.preemptions;
+        context_switches = m.Icb_repro.Sched.context_switches;
+        depth = m.Icb_repro.Sched.depth;
+        minimized = true;
+        proven_minimal = s.Icb_repro.Minimize.proven_minimal;
+        fingerprint =
+          Icb_repro.Triage.fingerprint
+            (module E)
+            ~key:t.bug_key m.Icb_repro.Sched.schedule;
+      }
+    in
+    let dest = Option.value out ~default:path in
+    Icb_repro.Bundle.save ~path:dest t';
+    if not quiet then begin
+      let o = s.Icb_repro.Minimize.original in
+      Format.printf
+        "minimized %s:@.  %d step%s, %d preemption%s  ->  %d step%s, %d \
+         preemption%s (%s, %d candidate replays)@."
+        t.bug_key o.Icb_repro.Sched.depth
+        (if o.Icb_repro.Sched.depth = 1 then "" else "s")
+        o.Icb_repro.Sched.preemptions
+        (if o.Icb_repro.Sched.preemptions = 1 then "" else "s")
+        m.Icb_repro.Sched.depth
+        (if m.Icb_repro.Sched.depth = 1 then "" else "s")
+        m.Icb_repro.Sched.preemptions
+        (if m.Icb_repro.Sched.preemptions = 1 then "" else "s")
+        (if s.Icb_repro.Minimize.proven_minimal then "proven minimal"
+         else "budget exhausted, local minimum")
+        s.Icb_repro.Minimize.candidates;
+      Format.printf "wrote %s@." dest
+    end
+
+let repro_min_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the minimized bundle to $(docv) instead of rewriting \
+             BUNDLE in place.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Engine-step budget across all minimization phases; when it \
+             runs out the best witness so far is kept with \
+             proven_minimal = false.")
+  in
+  let doc = "shrink a bundle's witness to a locally-minimal schedule" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Minimizes the bundle's schedule in three replay-validated phases \
+         — tail truncation, delta debugging over preemption points, and \
+         an exhaustive bounded search one preemption below the current \
+         witness — then canonicalizes, so the same bug minimized from \
+         different findings yields the same schedule and $(b,icb triage) \
+         clusters them under one fingerprint.  The bundle is rewritten \
+         in place (atomic) unless $(b,--out) is given; the original \
+         witness stays recorded in its found_* fields.  $(b,--trace) \
+         streams minimize-started/improved/finished telemetry events.  \
+         See docs/REPRO.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "min" ~doc ~man)
+    Term.(
+      const repro_min_run $ bundle_pos $ out $ max_steps $ trace_arg
+      $ quiet_arg)
+
+let repro_cmd =
+  let doc = "minimize, replay and verify repro bundles" in
+  Cmd.group (Cmd.info "repro" ~doc)
+    [ repro_min_cmd; repro_run_cmd; repro_verify_cmd ]
+
+(* --- triage ------------------------------------------------------------------- *)
+
+let triage_run dir json known =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Format.eprintf "%s is not a directory@." dir;
+    exit 2
+  end;
+  let known_fps =
+    match known with
+    | None -> []
+    | Some file -> (
+      let read () =
+        let ic = open_in file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Icb_repro.Triage.known_fingerprints (Obs.Json.parse (read ())) with
+      | fps -> fps
+      | exception Sys_error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+      | exception Obs.Json.Parse_error msg ->
+        Format.eprintf "%s: %s@." file msg;
+        exit 2)
+  in
+  let r = Icb_repro.Triage.scan ~known:known_fps dir in
+  if json then
+    print_endline (Obs.Json.to_string (Icb_repro.Triage.to_json r))
+  else Format.printf "%a@." Icb_repro.Triage.pp r;
+  (* only a baseline makes "new" meaningful as a gate *)
+  if
+    known <> None
+    && List.exists
+         (fun c -> c.Icb_repro.Triage.cl_new)
+         r.Icb_repro.Triage.clusters
+  then exit 1
+
+let triage_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:"Directory of $(b,.repro) bundles (see $(b,--repro-dir)).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as a JSON object instead of the table.")
+  in
+  let known =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "known" ] ~docv:"FILE"
+          ~doc:
+            "A previous $(b,icb triage --json) output; clusters whose \
+             fingerprints all miss it are flagged new, and their presence \
+             makes the exit code 1 (a CI gate for regressions).")
+  in
+  let doc = "cluster a directory of repro bundles by bug" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads every bundle in the directory and groups them by bug key: \
+         per cluster the distinct witness fingerprints, the models and \
+         strategies that found it, and the smallest witness seen.  \
+         Minimized bundles ($(b,icb repro min)) carry canonical \
+         witnesses, so the same bug found by different strategies lands \
+         on one fingerprint.  Corrupt files are listed, never fatal.  \
+         With $(b,--known BASELINE) the exit code is 1 iff a new \
+         cluster appeared.  See docs/REPRO.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "triage" ~doc ~man)
+    Term.(const triage_run $ dir $ json $ known)
+
 let () =
   let doc =
     "systematic testing of multithreaded models with iterative context \
@@ -891,4 +1327,6 @@ let () =
             bench_cmd;
             compile_cmd;
             models_cmd;
+            repro_cmd;
+            triage_cmd;
           ]))

@@ -38,6 +38,20 @@ type t =
       complete : bool;
       stop_reason : string option;
     }
+  | Minimize_started of { key : string; length : int; preemptions : int }
+  | Minimize_improved of {
+      phase : string;  (** truncate | ddmin | search | canonical *)
+      candidates : int;
+      length : int;
+      preemptions : int;
+    }
+  | Minimize_finished of {
+      key : string;
+      candidates : int;
+      length : int;
+      preemptions : int;
+      proven : bool;
+    }
 
 type envelope = { ts : float; worker : int; ev : t }
 
@@ -51,6 +65,9 @@ let name = function
   | Checkpoint_written _ -> "checkpoint-written"
   | Worker_stats _ -> "worker-stats"
   | Run_finished _ -> "run-finished"
+  | Minimize_started _ -> "minimize-started"
+  | Minimize_improved _ -> "minimize-improved"
+  | Minimize_finished _ -> "minimize-finished"
 
 (* --- JSON ---------------------------------------------------------------- *)
 
@@ -104,6 +121,27 @@ let fields_of = function
     @ (match stop_reason with
       | Some r -> [ ("stop_reason", Json.String r) ]
       | None -> [])
+  | Minimize_started { key; length; preemptions } ->
+    [
+      ("key", Json.String key);
+      ("length", Json.Int length);
+      ("preemptions", Json.Int preemptions);
+    ]
+  | Minimize_improved { phase; candidates; length; preemptions } ->
+    [
+      ("phase", Json.String phase);
+      ("candidates", Json.Int candidates);
+      ("length", Json.Int length);
+      ("preemptions", Json.Int preemptions);
+    ]
+  | Minimize_finished { key; candidates; length; preemptions; proven } ->
+    [
+      ("key", Json.String key);
+      ("candidates", Json.Int candidates);
+      ("length", Json.Int length);
+      ("preemptions", Json.Int preemptions);
+      ("proven", Json.Bool proven);
+    ]
 
 let to_json { ts; worker; ev } =
   Json.Obj
@@ -172,6 +210,24 @@ let of_json j =
       let* bugs = req "bugs" (int "bugs") in
       let* complete = req "complete" (bool "complete") in
       Ok (Run_finished { executions; states; bugs; complete; stop_reason = str "stop_reason" })
+    | "minimize-started" ->
+      let* key = req "key" (str "key") in
+      let* length = req "length" (int "length") in
+      let* preemptions = req "preemptions" (int "preemptions") in
+      Ok (Minimize_started { key; length; preemptions })
+    | "minimize-improved" ->
+      let* phase = req "phase" (str "phase") in
+      let* candidates = req "candidates" (int "candidates") in
+      let* length = req "length" (int "length") in
+      let* preemptions = req "preemptions" (int "preemptions") in
+      Ok (Minimize_improved { phase; candidates; length; preemptions })
+    | "minimize-finished" ->
+      let* key = req "key" (str "key") in
+      let* candidates = req "candidates" (int "candidates") in
+      let* length = req "length" (int "length") in
+      let* preemptions = req "preemptions" (int "preemptions") in
+      let* proven = req "proven" (bool "proven") in
+      Ok (Minimize_finished { key; candidates; length; preemptions; proven })
     | other -> Error (Printf.sprintf "unknown event kind %S" other)
   in
   Ok { ts; worker; ev }

@@ -39,6 +39,22 @@ type t =
       complete : bool;
       stop_reason : string option;
     }
+  | Minimize_started of { key : string; length : int; preemptions : int }
+      (** {!Icb_repro.Minimize} verified its input witness and is
+          shrinking it *)
+  | Minimize_improved of {
+      phase : string;  (** truncate | ddmin | search | canonical *)
+      candidates : int;  (** candidate executions replayed so far *)
+      length : int;      (** of the new best witness *)
+      preemptions : int;
+    }  (** one point of the minimization trajectory *)
+  | Minimize_finished of {
+      key : string;
+      candidates : int;
+      length : int;
+      preemptions : int;
+      proven : bool;  (** minimality proven, not budget-limited *)
+    }
 
 (** [ts] is seconds since the run's telemetry handle was created — one
     monotonic clock shared by all workers — and [worker] the domain that

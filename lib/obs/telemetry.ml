@@ -139,7 +139,8 @@ let track_metrics t =
           Metrics.set frontier (float_of_int b.items)
         | Event.Checkpoint_written _ -> Metrics.inc checkpoints 1.0
         | Event.Run_started _ | Event.Item_started _ | Event.Worker_stats _
-        | Event.Run_finished _ -> ())
+        | Event.Run_finished _ | Event.Minimize_started _
+        | Event.Minimize_improved _ | Event.Minimize_finished _ -> ())
   end
 
 let dump_metrics t path =

@@ -1,0 +1,140 @@
+(* Repro bundle files.  Same framing discipline as Checkpoint (v3):
+
+     bytes 0..7    magic "ICBREPR\x01"
+     bytes 8..11   format version (big-endian int, output_binary_int)
+     bytes 12..27  MD5 digest of the payload
+     bytes 28..31  payload length
+     bytes 32..    payload (Marshal of [t])
+
+   Temp-file write + atomic rename; the digest rejects truncated or
+   bit-rotted files with a clear error instead of a Marshal crash. *)
+
+type t = {
+  kind : string;
+  target : string;
+  strategy : string;
+  seed : int64;
+  bug_key : string;
+  bug_msg : string;
+  schedule : int list;
+  preemptions : int;
+  context_switches : int;
+  depth : int;
+  found_schedule : int list;
+  found_preemptions : int;
+  found_depth : int;
+  minimized : bool;
+  proven_minimal : bool;
+  deadlocks_are_errors : bool;
+  fingerprint : string;
+  meta : (string * string) list;
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+let magic = "ICBREPR\x01"
+let version = 1
+
+let save ~path t =
+  let payload = Marshal.to_string t [] in
+  let digest = Digest.string payload in
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      (Filename.basename path) ".tmp"
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     output_binary_int oc version;
+     output_string oc digest;
+     output_binary_int oc (String.length payload);
+     output_string oc payload;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open repro bundle: %s" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let read_exactly n what =
+        try really_input_string ic n
+        with End_of_file ->
+          corrupt "repro bundle %s is truncated (while reading %s)" path what
+      in
+      let m = read_exactly (String.length magic) "the magic number" in
+      if m <> magic then
+        corrupt "%s is not a repro bundle (bad magic)" path;
+      let v =
+        try input_binary_int ic
+        with End_of_file ->
+          corrupt "repro bundle %s is truncated (while reading the version)"
+            path
+      in
+      if v <> version then
+        corrupt "repro bundle %s has unsupported format version %d (this \
+                 build reads version %d)"
+          path v version;
+      let digest = read_exactly 16 "the digest" in
+      let len =
+        try input_binary_int ic
+        with End_of_file ->
+          corrupt "repro bundle %s is truncated (while reading the length)"
+            path
+      in
+      if len < 0 then corrupt "repro bundle %s has a negative length" path;
+      let payload = read_exactly len "the payload" in
+      if Digest.string payload <> digest then
+        corrupt "repro bundle %s is corrupt (digest mismatch)" path;
+      (Marshal.from_string payload 0 : t))
+
+let verify (type s) (module E : Icb_search.Engine.S with type state = s) t =
+  match
+    Sched.probe (module E)
+      ~deadlock_is_error:t.deadlocks_are_errors ~key:t.bug_key
+      ~steps:(ref max_int) t.schedule
+  with
+  | None ->
+    Error
+      (Printf.sprintf
+         "schedule does not reproduce bug %S — the program changed, the \
+          wrong variant was rebuilt, or the test body is nondeterministic"
+         t.bug_key)
+  | Some w ->
+    if w.Sched.schedule <> t.schedule then
+      Error
+        (Printf.sprintf
+           "bug %S reproduces %d step(s) early — the recorded schedule has \
+            trailing steps the bundle's writer did not see"
+           t.bug_key
+           (List.length t.schedule - w.Sched.depth))
+    else if
+      w.Sched.preemptions <> t.preemptions
+      || w.Sched.context_switches <> t.context_switches
+      || w.Sched.depth <> t.depth
+    then
+      Error
+        (Printf.sprintf
+           "bug %S reproduces but the measurements moved: recorded %d \
+            preemptions / %d switches / depth %d, replay got %d / %d / %d"
+           t.bug_key t.preemptions t.context_switches t.depth
+           w.Sched.preemptions w.Sched.context_switches w.Sched.depth)
+    else Ok w
+
+let describe t =
+  Printf.sprintf
+    "%s %s (%s, strategy %s): %d step(s), %d preemption(s)%s"
+    t.kind t.target t.bug_key t.strategy (List.length t.schedule)
+    t.preemptions
+    (if t.minimized then
+       if t.proven_minimal then ", minimized (proven)" else ", minimized"
+     else "")

@@ -1,0 +1,71 @@
+(* Bundle naming and the --repro-dir writer. *)
+
+module Fnv = Icb_util.Fnv
+
+let sanitize s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> ()
+      | _ -> Bytes.set b i '-')
+    b;
+  let s = Bytes.to_string b in
+  if String.length s > 64 then String.sub s 0 64 else s
+
+let schedule_hash schedule =
+  let h = List.fold_left Fnv.int Fnv.basis schedule in
+  String.sub (Fnv.to_hex h) 0 8
+
+let bundle_filename (t : Bundle.t) =
+  Printf.sprintf "%s.%s.%s.repro" (sanitize t.bug_key) (sanitize t.strategy)
+    (schedule_hash t.schedule)
+
+let drop (type s) (module E : Icb_search.Engine.S with type state = s) ~dir
+    ~deadlock_is_error ~kind ~target ~strategy ~seed ?(meta = []) bugs =
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+    else if not (Sys.is_directory dir) then
+      failwith (dir ^ " exists and is not a directory")
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot create repro directory %s: %s" dir
+         (Unix.error_message e))
+  | exception Failure msg -> Error msg
+  | () -> (
+    try
+      Ok
+        (List.filter_map
+        (fun (b : Icb_search.Sresult.bug) ->
+          let t =
+            {
+              Bundle.kind;
+              target;
+              strategy;
+              seed;
+              bug_key = b.key;
+              bug_msg = b.msg;
+              schedule = b.schedule;
+              preemptions = b.preemptions;
+              context_switches = b.context_switches;
+              depth = b.depth;
+              found_schedule = b.schedule;
+              found_preemptions = b.preemptions;
+              found_depth = b.depth;
+              minimized = false;
+              proven_minimal = false;
+              deadlocks_are_errors = deadlock_is_error;
+              fingerprint = Triage.fingerprint (module E) ~key:b.key b.schedule;
+              meta;
+            }
+          in
+          let path = Filename.concat dir (bundle_filename t) in
+          if Sys.file_exists path then None
+          else begin
+            Bundle.save ~path t;
+            Some path
+          end)
+          bugs)
+    with Sys_error msg ->
+      Error (Printf.sprintf "cannot write repro bundle: %s" msg))

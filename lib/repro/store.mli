@@ -1,0 +1,27 @@
+(** The [--repro-dir] writer: one bundle file per deduplicated bug.
+
+    Filenames are content-derived
+    (["<key>.<strategy>.<schedule-hash>.repro"], sanitized), so the same
+    bug found again by the same strategy with the same witness is
+    skipped, while different strategies' (or differently-scheduled)
+    findings of one bug coexist in the directory and {!Triage} clusters
+    them. *)
+
+val bundle_filename : Bundle.t -> string
+
+val drop :
+  (module Icb_search.Engine.S with type state = 's) ->
+  dir:string ->
+  deadlock_is_error:bool ->
+  kind:string ->
+  target:string ->
+  strategy:string ->
+  seed:int64 ->
+  ?meta:(string * string) list ->
+  Icb_search.Sresult.bug list ->
+  (string list, string) result
+(** Write one (unminimized) bundle per bug into [dir], creating the
+    directory if missing; returns the paths actually written (existing
+    files are silently skipped).  The engine is only used to fingerprint
+    each witness.  [Error] when the directory cannot be created or a
+    write fails. *)

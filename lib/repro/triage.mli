@@ -1,0 +1,52 @@
+(** Cross-run bug triage: stable fingerprints for minimized witnesses
+    and clustering over a directory of repro bundles.
+
+    The fingerprint of a witness is its bug key plus the hash of its
+    preemption stack (step index, preempted tid, chosen tid of every
+    preempting switch).  Minimization canonicalizes witnesses (see
+    {!Minimize}), so the same bug found by different strategies — or on
+    different days — lands on the same fingerprint, and a directory of
+    bundles accumulated across runs triages into one cluster per
+    distinct bug. *)
+
+val fingerprint :
+  (module Icb_search.Engine.S with type state = 's) ->
+  key:string ->
+  int list ->
+  string
+(** ["<key>@<fnv64 of key + preemption stack>"]; a schedule that does not
+    replay yields the sentinel ["<key>@unreplayable"] instead of
+    raising. *)
+
+type cluster = {
+  cl_key : string;                       (** the bug key *)
+  cl_bundles : (string * Bundle.t) list; (** filename × bundle, sorted *)
+  cl_fingerprints : string list;         (** distinct, sorted *)
+  cl_targets : string list;              (** distinct "kind:target" *)
+  cl_strategies : string list;
+  cl_min_preemptions : int;
+  cl_min_length : int;
+  cl_minimized : bool;  (** at least one member is a minimized witness *)
+  cl_new : bool;        (** no fingerprint appears in the [known] set *)
+}
+
+type report = {
+  dir : string;
+  clusters : cluster list;        (** sorted by bug key *)
+  total : int;                    (** readable bundles *)
+  corrupt : (string * string) list;  (** filename × load error *)
+}
+
+val scan : ?known:string list -> string -> report
+(** Read every [*.repro] file in the directory.  [known] is a set of
+    fingerprints from earlier triage output ({!known_fingerprints});
+    clusters whose fingerprints all miss it are flagged [cl_new].
+    Raises [Sys_error] if the directory cannot be read; unreadable
+    bundles land in [corrupt], never abort the scan. *)
+
+val known_fingerprints : Icb_obs.Json.t -> string list
+(** Extract the fingerprints from a previous [icb triage --json] output,
+    for {!scan}'s [known]. *)
+
+val to_json : report -> Icb_obs.Json.t
+val pp : Format.formatter -> report -> unit

@@ -131,6 +131,21 @@ let check (type s) (module E : Engine.S with type state = s)
   | bug :: _ -> Some bug
   | [] -> None
 
+let replay_prefix (type s) (module E : Engine.S with type state = s) schedule
+    =
+  let rec go st = function
+    | [] -> (st, [])
+    | rest when Engine.is_terminal (E.status st) -> (st, rest)
+    | tid :: rest ->
+      if not (List.mem tid (E.enabled st)) then
+        invalid_arg
+          (Printf.sprintf
+             "Explore.replay_prefix: thread %d not enabled at step %d" tid
+             (E.depth st))
+      else go (E.step st tid) rest
+  in
+  go (E.initial ()) schedule
+
 let replay (type s) (module E : Engine.S with type state = s) schedule =
   List.fold_left
     (fun st tid ->

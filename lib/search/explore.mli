@@ -128,3 +128,12 @@ val replay :
     that is not enabled at some point, and lets
     {!Engine.Nondeterministic_program} propagate when a stateless engine
     detects that the program diverged from the recording. *)
+
+val replay_prefix :
+  (module Engine.S with type state = 's) -> int list -> 's * int list
+(** Like {!replay}, but stops at the first terminal state and returns it
+    together with the unconsumed schedule suffix ([[]] when every step
+    was taken) — the replay hook behind the repro subsystem's tail
+    truncation ({!Icb_repro.Minimize}): the earliest prefix exposing a
+    bug is the witness, anything after it is noise.  Raises like
+    {!replay} if a pre-terminal step names a disabled thread. *)

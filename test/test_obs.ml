@@ -124,6 +124,17 @@ let all_events : Event.t list =
         complete = true;
         stop_reason = None;
       };
+    Event.Minimize_started { key = "assert:x"; length = 212; preemptions = 9 };
+    Event.Minimize_improved
+      { phase = "ddmin"; candidates = 14; length = 40; preemptions = 2 };
+    Event.Minimize_finished
+      {
+        key = "assert:x";
+        candidates = 192;
+        length = 23;
+        preemptions = 1;
+        proven = true;
+      };
   ]
 
 let event_tests =

@@ -544,6 +544,74 @@ let cross_strategy_tests =
                   bug.Sresult.key replayed)
               e.bugs)
           Icb_models.Registry.all);
+    Alcotest.test_case
+      "replay determinism: every witness replays with identical measurements"
+      `Slow (fun () ->
+        (* The repro subsystem (minimization, bundle verification, triage
+           fingerprints) rests on this property: a bug's recorded schedule
+           replayed on a fresh engine ends exactly at the failure and the
+           engine's own counters agree with what the collector recorded —
+           for every registry model and every strategy that found it. *)
+        List.iter
+          (fun (e : Icb_models.Registry.entry) ->
+            List.iter
+              (fun (b : Icb_models.Registry.bug_spec) ->
+                let name = e.model_name ^ "/" ^ b.bug_name in
+                let prog = b.bug_program () in
+                let first =
+                  { Collector.default_options with stop_at_first_bug = true }
+                in
+                let runs =
+                  [
+                    ( "icb",
+                      Explore.Icb
+                        {
+                          max_bound = Some (max 3 b.expected_bound);
+                          cache = false;
+                        },
+                      first );
+                    ( "dfs",
+                      Explore.Dfs { cache = true },
+                      { first with max_executions = Some 200_000 } );
+                    ( "random",
+                      Explore.Random_walk { seed = 2007L },
+                      { first with max_executions = Some 50_000 } );
+                  ]
+                in
+                List.iter
+                  (fun (sname, strategy, options) ->
+                    let r = Icb.run ~options ~strategy prog in
+                    List.iter
+                      (fun (bug : Sresult.bug) ->
+                        let here what =
+                          Printf.sprintf "%s/%s/%s: %s" name sname
+                            bug.Sresult.key what
+                        in
+                        let module E = (val Icb.engine prog) in
+                        let final, rest =
+                          Explore.replay_prefix (module E) bug.schedule
+                        in
+                        check
+                          (Alcotest.list Alcotest.int)
+                          (here "schedule ends at the failure") [] rest;
+                        let replayed =
+                          match E.status final with
+                          | Engine.Failed { key; _ } -> key
+                          | Engine.Deadlock _ -> "deadlock"
+                          | Engine.Terminated | Engine.Running -> "no-failure"
+                        in
+                        check Alcotest.string (here "key") bug.key replayed;
+                        check Alcotest.int (here "preemptions")
+                          bug.preemptions (E.preemptions final);
+                        check Alcotest.int (here "depth") bug.depth
+                          (E.depth final);
+                        check Alcotest.int (here "context switches")
+                          bug.context_switches
+                          (Icb_repro.Sched.count_switches (E.schedule final)))
+                      r.Sresult.bugs)
+                  runs)
+              e.bugs)
+          Icb_models.Registry.all);
   ]
 
 let () =
