@@ -900,6 +900,187 @@ let repro_bench () =
     rows;
   if !failed then exit 1 else print_endline "repro minimization: OK"
 
+(* ------------------------------------------------------------------------- *)
+(* Bounds head-to-head: variable/thread bounding vs raw ICB                   *)
+(* ------------------------------------------------------------------------- *)
+
+(* Bindal-Bansal-Lal's claim, on our models: bounding *where* preemptions
+   may happen (the N hottest variables, the N lowest threads) finds bugs
+   in fewer executions than bounding only *how many* (raw ICB).  Two
+   parts: a Fig-5-shaped coverage-vs-executions table per model, and a
+   per-Table-2-bug "which bound finds it cheapest" ranking.
+
+   BENCH_BOUNDS_MODELS (comma-separated lowercase model names, e.g.
+   "bluetooth,work-stealing-queue") restricts the run for CI smoke; the
+   full-suite assertions only fire on an unrestricted run. *)
+
+let bounds_strategies =
+  [
+    ("icb", Explore.Icb { max_bound = None; cache = false });
+    ("vb:1", Explore.Variable_bound { n = 1; cache = false });
+    ("vb:2", Explore.Variable_bound { n = 2; cache = false });
+    ("tb:2", Explore.Thread_bound { n = 2; cache = false });
+    ("icb-vb:2", Explore.Icb_vb { n = 2; max_bound = None; cache = false });
+  ]
+
+let bounds_bench () =
+  section "Bounds head-to-head: variable and thread bounding vs raw ICB";
+  let failed = ref false in
+  let check name ok =
+    if not ok then begin
+      Printf.printf "FAIL %s\n" name;
+      failed := true
+    end
+  in
+  let base_name (e : Registry.entry) =
+    String.map
+      (fun c -> if c = ' ' then '-' else c)
+      (String.lowercase_ascii e.model_name)
+  in
+  let restricted, models =
+    match Sys.getenv_opt "BENCH_BOUNDS_MODELS" with
+    | None | Some "" -> (false, Registry.all)
+    | Some s ->
+      let names = List.map String.trim (String.split_on_char ',' s) in
+      (true, List.filter (fun e -> List.mem (base_name e) names) Registry.all)
+  in
+  (* part 1: coverage growth per model, all bounding strategies head to
+     head (the Fig 5 shape) *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.correct_program with
+      | None -> ()
+      | Some prog ->
+        growth_experiment
+          (Printf.sprintf "bounds coverage vs executions: %s" e.model_name)
+          (prog ())
+          (List.map snd bounds_strategies)
+          ~cap:2000)
+    models;
+  (* part 2: executions to first bug, per Table-2 bug *)
+  section "executions to the first bug, per Table 2 bug";
+  let cap = 20_000 in
+  Printf.printf
+    "(stop at first bug, capped at %d executions; '-' = not found within\n\
+     the cap — a bound that excludes the bug's preemption points)\n"
+    cap;
+  let results =
+    List.concat_map
+      (fun (e : Registry.entry) ->
+        List.map
+          (fun (b : Registry.bug_spec) ->
+            let per =
+              List.map
+                (fun (sname, strategy) ->
+                  let r =
+                    Icb.run
+                      ~options:
+                        {
+                          Collector.default_options with
+                          max_executions = Some cap;
+                          stop_at_first_bug = true;
+                        }
+                      ~strategy (b.bug_program ())
+                  in
+                  ( sname,
+                    if r.Sresult.bugs <> [] then Some r.Sresult.executions
+                    else None ))
+                bounds_strategies
+            in
+            (e, b, per))
+          e.bugs)
+      models
+  in
+  subsection "executions to bug, per strategy";
+  print_table
+    ([ "Program"; "Bug" ] @ List.map fst bounds_strategies)
+    (List.map
+       (fun ((e : Registry.entry), (b : Registry.bug_spec), per) ->
+         [ e.model_name; b.bug_name ]
+         @ List.map
+             (fun (_, x) ->
+               match x with Some n -> string_of_int n | None -> "-")
+             per)
+       results);
+  subsection "cheapest bound per bug (ranked)";
+  let cheapest per =
+    List.fold_left
+      (fun best (sname, x) ->
+        match (best, x) with
+        | None, Some n -> Some (sname, n)
+        | Some (_, bn), Some n when n < bn -> Some (sname, n)
+        | _ -> best)
+      None per
+  in
+  let ranked =
+    List.map
+      (fun (e, b, per) ->
+        let icb_execs = List.assoc "icb" per in
+        (e, b, cheapest per, icb_execs))
+      results
+    |> List.stable_sort (fun (_, _, a, _) (_, _, b, _) ->
+           match (a, b) with
+           | Some (_, x), Some (_, y) -> compare x y
+           | Some _, None -> -1
+           | None, Some _ -> 1
+           | None, None -> 0)
+  in
+  print_table
+    [ "Program"; "Bug"; "Cheapest"; "Executions"; "icb"; "Beats icb" ]
+    (List.map
+       (fun ((e : Registry.entry), (b : Registry.bug_spec), best, icb_execs) ->
+         let sname, n =
+           match best with
+           | Some (s, n) -> (s, string_of_int n)
+           | None -> ("NOT FOUND", "-")
+         in
+         [
+           e.model_name;
+           b.bug_name;
+           sname;
+           n;
+           (match icb_execs with Some n -> string_of_int n | None -> "-");
+           (match (best, icb_execs) with
+           | Some (s, n), Some i when n < i && s <> "icb" -> "yes"
+           | _ -> "no");
+         ])
+       ranked);
+  (* the paper-conformance assertions (full suite only) *)
+  List.iter
+    (fun ((e : Registry.entry), (b : Registry.bug_spec), best, _) ->
+      check
+        (Printf.sprintf "%s/%s: found by at least one bound" e.model_name
+           b.bug_name)
+        (best <> None))
+    ranked;
+  if not restricted then begin
+    check
+      (Printf.sprintf "all %d Table 2 bugs ranked" Registry.total_bugs)
+      (List.length ranked = Registry.total_bugs);
+    (* variable bounding must beat raw ICB on executions-to-bug somewhere:
+       the Bindal-Bansal-Lal headline, and this PR's acceptance bar *)
+    let beats =
+      List.filter
+        (fun (_, _, best, icb_execs) ->
+          match (best, icb_execs) with
+          | Some (s, n), Some i ->
+            (s = "vb:1" || s = "vb:2" || s = "icb-vb:2") && n < i
+          | _ -> false)
+        ranked
+    in
+    check "vb:N or icb-vb:N beats raw ICB on executions-to-bug somewhere"
+      (beats <> []);
+    List.iter
+      (fun ((e : Registry.entry), (b : Registry.bug_spec), best, icb_execs) ->
+        match (best, icb_execs) with
+        | Some (s, n), Some i ->
+          Printf.printf "  %s/%s: %s in %d vs icb in %d\n" e.model_name
+            b.bug_name s n i
+        | _ -> ())
+      beats
+  end;
+  if !failed then exit 1 else print_endline "bounds conformance: OK"
+
 let experiments =
   [
     ("table1", table1);
@@ -919,6 +1100,7 @@ let experiments =
     ("timings", timings);
     ("parallel", parallel_bench);
     ("repro", repro_bench);
+    ("bounds", bounds_bench);
   ]
 
 let () =

@@ -632,28 +632,19 @@ let resume_cmd =
 
 (* --- explore ------------------------------------------------------------------ *)
 
-(* The one list every accepted --strategy spelling comes from; the help
-   text and the parse error both render it so they cannot drift apart. *)
-let strategy_forms =
-  [
-    ("icb", "iterative context bounding, unbounded");
-    ("icb:N", "iterative context bounding up to N preemptions");
-    ("dfs", "plain depth-first search");
-    ("db:N", "depth-bounded DFS");
-    ("idfs:N", "iterative deepening DFS to depth N");
-    ("random", "random walks (see --seed)");
-    ("sleep", "DFS with sleep-set partial-order reduction");
-    ("pct:N", "probabilistic concurrency testing, N change points");
-    ("most-enabled", "best-first by enabled-thread count");
-  ]
-
+(* The one list every accepted --strategy spelling comes from
+   ([Explore.strategy_forms]); the help text and the parse error both
+   render it so they cannot drift apart. *)
 let strategy_arg =
   let doc =
     "Search strategy: "
     ^ String.concat ", "
         (List.map
-           (fun (form, what) -> Printf.sprintf "$(b,%s) (%s)" form what)
-           strategy_forms)
+           (fun (form, what, range) ->
+             match range with
+             | None -> Printf.sprintf "$(b,%s) (%s)" form what
+             | Some r -> Printf.sprintf "$(b,%s) (%s; %s)" form what r)
+           Icb_search.Explore.strategy_forms)
     ^ "."
   in
   Arg.(value & opt string "icb" & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
@@ -663,46 +654,7 @@ let max_execs_arg =
   Arg.(
     value & opt (some int) None & info [ "max-executions" ] ~docv:"N" ~doc)
 
-let parse_strategy ~seed s =
-  let starts_with prefix =
-    String.length s > String.length prefix
-    && String.sub s 0 (String.length prefix) = prefix
-  in
-  let suffix_int prefix =
-    int_of_string_opt
-      (String.sub s (String.length prefix) (String.length s - String.length prefix))
-  in
-  let bad () =
-    Error
-      (Printf.sprintf "bad strategy: %s (accepted: %s)" s
-         (String.concat ", " (List.map fst strategy_forms)))
-  in
-  match s with
-  | "icb" -> Ok (Icb_search.Explore.Icb { max_bound = None; cache = true })
-  | "dfs" -> Ok (Icb_search.Explore.Dfs { cache = true })
-  | "random" -> Ok (Icb_search.Explore.Random_walk { seed })
-  | "sleep" -> Ok Icb_search.Explore.Sleep_dfs
-  | "most-enabled" -> Ok (Icb_search.Explore.Most_enabled { cache = true })
-  | _ when starts_with "icb:" -> (
-    match suffix_int "icb:" with
-    | Some b -> Ok (Icb_search.Explore.Icb { max_bound = Some b; cache = true })
-    | None -> bad ())
-  | _ when starts_with "db:" -> (
-    match suffix_int "db:" with
-    | Some d -> Ok (Icb_search.Explore.Bounded_dfs { depth = d; cache = true })
-    | None -> bad ())
-  | _ when starts_with "pct:" -> (
-    match suffix_int "pct:" with
-    | Some d -> Ok (Icb_search.Explore.Pct { change_points = d; seed })
-    | None -> bad ())
-  | _ when starts_with "idfs:" -> (
-    match suffix_int "idfs:" with
-    | Some d ->
-      Ok
-        (Icb_search.Explore.Iterative_dfs
-           { start = 10; incr = 10; max_depth = d; cache = true })
-    | None -> bad ())
-  | _ -> bad ()
+let parse_strategy ~seed s = Icb_search.Explore.parse_strategy ~seed s
 
 let explore_run path model strategy_str seed no_deadlock gran max_execs
     timeout checkpoint checkpoint_every jobs progress trace metrics

@@ -177,5 +177,69 @@ let engine test =
 let check ?options ?(max_bound = 3) test =
   Icb_search.Explore.check (engine test) ?options ~max_bound ()
 
-let run ?options ~strategy test =
-  Icb_search.Explore.run (engine test) ?options strategy
+(* The variable-bounding strategies need a ranking of the test body's
+   shared variables, which only exist dynamically (shims are created
+   inside the body).  One profiling execution — always the first enabled
+   thread, i.e. ICB's round-0 non-preemptive schedule — counts the
+   accesses each variable sees.  Deterministic bodies (a requirement of
+   this engine anyway) make the ranking reproducible. *)
+let shared_env ?(max_steps = 4096) test =
+  let r = Api.Run.create test in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in  (* first-seen order for ties *)
+  let note var =
+    let k = Icb_search.Strategy.key_of_var var in
+    (match Hashtbl.find_opt counts k with
+    | None -> order := k :: !order
+    | Some _ -> ());
+    Hashtbl.replace counts k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  let steps = ref 0 in
+  (try
+     let continue = ref true in
+     while !continue && !steps < max_steps do
+       match Api.Run.status r with
+       | Api.Run.Running -> (
+         match Api.Run.enabled r with
+         | [] -> continue := false
+         | t :: _ ->
+           let events, _ = Api.Run.step r t in
+           List.iter
+             (fun (ev : Icb_machine.Interp.event) ->
+               match ev with
+               | Icb_machine.Interp.Ev_sync { var; _ }
+               | Icb_machine.Interp.Ev_data { var; _ } -> note var
+               | Icb_machine.Interp.Ev_fork _
+               | Icb_machine.Interp.Ev_lifetime _ -> ())
+             events;
+           incr steps)
+       | _ -> continue := false
+     done
+   with _ -> () (* a crashing body still yields the counts seen so far *));
+  let svars =
+    List.rev !order
+    |> List.map (fun k ->
+           {
+             Icb_search.Strategy.sv_key = k;
+             sv_name = k;
+             sv_weight = Hashtbl.find counts k;
+           })
+    |> List.stable_sort (fun a b ->
+           compare b.Icb_search.Strategy.sv_weight
+             a.Icb_search.Strategy.sv_weight)
+  in
+  { Icb_search.Strategy.env_svars = svars }
+
+let run ?options ?env ~strategy test =
+  let env =
+    match env with
+    | Some _ -> env
+    | None ->
+      (* profiling costs one execution of the body, so only pay it for
+         the strategies that consume the ranking — existing replay-count
+         assertions stay untouched *)
+      if Icb_search.Explore.needs_env strategy then Some (shared_env test)
+      else None
+  in
+  Icb_search.Explore.run (engine test) ?options ?env strategy

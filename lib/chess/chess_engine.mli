@@ -37,9 +37,22 @@ val check :
 
 val run :
   ?options:Icb_search.Collector.options ->
+  ?env:Icb_search.Strategy.env ->
   strategy:Icb_search.Explore.strategy ->
   (unit -> unit) ->
   Icb_search.Sresult.t
+(** When the strategy consumes a shared-variable ranking
+    ([Explore.needs_env]) and no [env] is given, one is built with
+    {!shared_env} — at the cost of one profiling execution of the body. *)
+
+val shared_env : ?max_steps:int -> (unit -> unit) -> Icb_search.Strategy.env
+(** Rank the test body's shared variables by access count along one
+    profiling execution (the non-preemptive first-enabled schedule, ICB's
+    round 0; [max_steps], default 4096, bounds it).  Deterministic bodies
+    — a requirement of this engine anyway — make the ranking
+    reproducible.  Variables only touched under other schedules are
+    absent, i.e. never admitted by a variable bound built from this
+    env. *)
 
 val replays : unit -> int
 (** Number of from-scratch replays performed since the program started —

@@ -28,8 +28,12 @@ let engine ?(config = Icb_search.Mach_engine.default_config) prog =
 
 let run ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
     ?resume_from ?telemetry ?domains ~strategy prog =
+  (* the variable-bounding strategies consume the program's static
+     shared-variable ranking; deriving it is cheap, so it rides along on
+     every run and the other strategies simply ignore it *)
   Icb_search.Explore.run (engine ?config prog) ?options ?checkpoint_out
     ?checkpoint_every ?checkpoint_meta ?resume_from ?telemetry ?domains
+    ~env:(Icb_search.Strategy.env_of_prog prog)
     strategy
 
 let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
@@ -47,7 +51,9 @@ let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
 let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
     ?telemetry ?domains prog ckpt =
   Icb_search.Explore.resume (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ?telemetry ?domains ckpt
+    ?checkpoint_every ?checkpoint_meta ?telemetry ?domains
+    ~env:(Icb_search.Strategy.env_of_prog prog)
+    ckpt
 
 let check ?config ?options ?(max_bound = 3) ?telemetry ?domains prog =
   Icb_search.Explore.check (engine ?config prog) ?options ~max_bound

@@ -1,0 +1,64 @@
+(* Static shared-variable metadata for bounding strategies.
+
+   Variable bounding (Bindal-Bansal-Lal) needs a deterministic ranking of
+   a program's shared variables so "the N hottest variables" means the
+   same thing on every run, every worker and every resume.  We rank by
+   static access count: the number of instructions anywhere in the
+   program that touch the variable.  This over-approximates dynamic
+   heat (an access inside a loop counts once) but is a pure function of
+   the compiled program, which is exactly what checkpoint/resume and
+   parallel determinism require.
+
+   Heap cells are excluded: their addresses are dynamic, so no static
+   ranking exists for them — a variable bound simply never admits
+   preemptions around heap-only accesses. *)
+
+type svar = {
+  v_var : Interp.var_id;  (* element index 0; bounding is per-variable *)
+  v_name : string;
+  v_count : int;          (* static shared-access sites *)
+}
+
+let ranked (p : Prog.t) =
+  let g = Array.make (Array.length p.Prog.globals) 0 in
+  let s = Array.make (Array.length p.Prog.syncs) 0 in
+  let bump a i = a.(i) <- a.(i) + 1 in
+  Array.iter
+    (fun (proc : Prog.proc) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i with
+          | Instr.Load { gid; _ }
+          | Instr.Store { gid; _ }
+          | Instr.Cas { gid; _ }
+          | Instr.Fetch_add { gid; _ } -> bump g gid
+          | Instr.Lock o
+          | Instr.Unlock o
+          | Instr.Wait o
+          | Instr.Signal o
+          | Instr.Reset o
+          | Instr.Sem_acquire o
+          | Instr.Sem_release o -> bump s o.Instr.sid
+          | _ -> ())
+        proc.Prog.code)
+    p.Prog.procs;
+  let globals =
+    List.init (Array.length g) (fun i ->
+        {
+          v_var = Interp.Gvar (i, 0);
+          v_name = p.Prog.globals.(i).Prog.gname;
+          v_count = g.(i);
+        })
+  in
+  let syncs =
+    List.init (Array.length s) (fun i ->
+        {
+          v_var = Interp.Svar (i, 0);
+          v_name = p.Prog.syncs.(i).Prog.sname;
+          v_count = s.(i);
+        })
+  in
+  (* stable sort: ties keep declaration order, globals before syncs *)
+  globals @ syncs
+  |> List.filter (fun v -> v.v_count > 0)
+  |> List.stable_sort (fun a b -> compare b.v_count a.v_count)

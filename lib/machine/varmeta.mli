@@ -1,0 +1,20 @@
+(** Static shared-variable metadata: the deterministic variable ranking
+    behind the variable-bounding search strategies (docs/BOUNDS.md).
+
+    [ranked p] lists every global and synchronization object of [p] with
+    at least one static access site, heaviest first (access-site count
+    descending, ties in declaration order, globals before synchronization
+    objects).  The ranking is a pure function of the compiled program, so
+    "the N hottest variables" is identical across runs, parallel workers
+    and checkpoint resumes.  Heap cells are excluded — their addresses
+    are dynamic, so they cannot be ranked statically. *)
+
+type svar = {
+  v_var : Interp.var_id;
+      (** [Gvar (id, 0)] or [Svar (id, 0)]; bounding treats a whole array
+          as one variable, so the element index is irrelevant *)
+  v_name : string;
+  v_count : int;  (** static shared-access sites *)
+}
+
+val ranked : Prog.t -> svar list

@@ -24,7 +24,8 @@
 type v3 = {
   v3_tag : string;
       (** strategy family: ["icb"], ["dfs"], ["db"], ["idfs"],
-          ["random"], ["pct"], ["most-enabled"] *)
+          ["random"], ["pct"], ["most-enabled"], ["vb"], ["tb"],
+          ["icb-vb"] *)
   v3_params : (string * string) list;
       (** the strategy's parameters as strings (["max_bound"], ["cache"],
           ["seed"], ...), plus any round-local progress it must carry

@@ -358,10 +358,14 @@ let run_serial (type s) (module E : Engine.S with type state = s)
   | Some f ->
     let work, carry = S.of_prefixes master f in
     List.iter (fun p -> ctx.Strategy.c_defer (of_prefix p)) carry;
-    if work = [] && carry = [] then
-      (* a resumed checkpoint of a finished search *)
-      Collector.set_complete master
-    else rounds (List.map of_prefix work)
+    (* Even an empty frontier goes through the round loop: a kill can
+       land exactly at a round boundary, where work and deferred are
+       both drained but the strategy still owes rounds (iterative
+       deepening with truncations pending, a sealed bound owing its
+       `Bounded verdict).  [after_round] re-derives the verdict from
+       the restored params, so a genuinely finished checkpoint still
+       concludes immediately. *)
+    rounds (List.map of_prefix work)
   | None ->
     let items = S.roots (module E) w master in
     if items = [] then
@@ -764,26 +768,24 @@ let run_parallel (type s)
     (next_items, Atomic.get stop)
   in
   let rec drive work carry =
-    if work = [] && carry = [] then
-      (* a resumed checkpoint of a finished search *)
-      Collector.set_complete master
-    else begin
-      let next_items, stop_r = run_round ~work ~carry in
-      note_round_done (S.round ());
-      match stop_r with
-      | Some r ->
-        Collector.note_stop master r;
-        let remaining = strip_items (sorted_items (remaining_items ())) in
-        save_with master ~work:remaining ~next:(strip_items next_items)
-      | None -> (
-        Collector.mark_growth master;
-        match S.after_round master ~wstates ~deferred:next_items with
-        | `Complete ->
-          Collector.set_complete master;
-          save_with master ~work:[] ~next:[]
-        | `Bounded -> save_with master ~work:[] ~next:(strip_items next_items)
-        | `Round items -> drive items [])
-    end
+    (* An empty frontier still runs the (trivial) round: a resumed
+       checkpoint killed exactly at a round boundary owes [after_round]
+       the decision — deepen, seal off as `Bounded, or conclude. *)
+    let next_items, stop_r = run_round ~work ~carry in
+    note_round_done (S.round ());
+    match stop_r with
+    | Some r ->
+      Collector.note_stop master r;
+      let remaining = strip_items (sorted_items (remaining_items ())) in
+      save_with master ~work:remaining ~next:(strip_items next_items)
+    | None -> (
+      Collector.mark_growth master;
+      match S.after_round master ~wstates ~deferred:next_items with
+      | `Complete ->
+        Collector.set_complete master;
+        save_with master ~work:[] ~next:[]
+      | `Bounded -> save_with master ~work:[] ~next:(strip_items next_items)
+      | `Round items -> drive items [])
   in
   match resume_v3 with
   | Some f ->
@@ -808,14 +810,16 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
     invalid_arg
       (Printf.sprintf
          "Driver.run: ~domains:%d — the %s frontier does not shard across \
-          domains; strategies that do: icb, dfs, db:N, idfs:N, random, pct:N"
+          domains; strategies that do: icb, dfs, db:N, idfs:N, random, \
+          pct:N, vb:N, tb:N, icb-vb:N"
          domains S.name);
   if (checkpoint_out <> None || resume_from <> None) && not S.checkpointable
   then
     invalid_arg
       (Printf.sprintf
          "Driver.run: strategy %s does not support checkpoint/resume \
-          (supported: icb, dfs, db:N, idfs:N, random, pct:N, most-enabled)"
+          (supported: icb, dfs, db:N, idfs:N, random, pct:N, \
+          most-enabled, vb:N, tb:N, icb-vb:N)"
          S.name);
   let emit =
     match telemetry with

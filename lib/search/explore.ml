@@ -16,6 +16,9 @@ type strategy =
   | Sleep_dfs
   | Pct of { change_points : int; seed : int64 }
   | Most_enabled of { cache : bool }
+  | Variable_bound of { n : int; cache : bool }
+  | Thread_bound of { n : int; cache : bool }
+  | Icb_vb of { n : int; max_bound : int option; cache : bool }
 
 let strategy_name = function
   | Icb { max_bound; _ } -> Search_core.icb_strategy_name ~max_bound
@@ -26,10 +29,22 @@ let strategy_name = function
   | Sleep_dfs -> "sleep-dfs"
   | Pct { change_points; _ } -> Printf.sprintf "pct:%d" change_points
   | Most_enabled _ -> "most-enabled"
+  | Variable_bound { n; _ } -> Printf.sprintf "vb:%d" n
+  | Thread_bound { n; _ } -> Printf.sprintf "tb:%d" n
+  | Icb_vb { n; _ } -> Printf.sprintf "icb-vb:%d" n
+
+(* The variable-bounding strategies rank shared variables; everything else
+   runs env-free.  Callers that must pay to build an env (the CHESS engine
+   profiles an execution) gate on this. *)
+let needs_env = function
+  | Variable_bound _ | Icb_vb _ -> true
+  | Icb _ | Dfs _ | Bounded_dfs _ | Iterative_dfs _ | Random_walk _
+  | Sleep_dfs | Pct _ | Most_enabled _ | Thread_bound _ -> false
 
 (* Strategy instances are single-use (they hold the run's round state), so
    one is built per [run] call. *)
-let instantiate (type s) (module E : Engine.S with type state = s) strategy :
+let instantiate (type s) ?(env = Strategy.empty_env)
+    (module E : Engine.S with type state = s) strategy :
     (module Strategy.S with type state = s) =
   match strategy with
   | Icb { max_bound; cache } -> Strategies.icb (module E) ~max_bound ~cache
@@ -43,6 +58,11 @@ let instantiate (type s) (module E : Engine.S with type state = s) strategy :
   | Pct { change_points; seed } ->
     Strategies.pct (module E) ~change_points ~seed
   | Most_enabled { cache } -> Strategies.most_enabled (module E) ~cache
+  | Variable_bound { n; cache } ->
+    Strategies.variable_bound (module E) ~n ~cache ~env
+  | Thread_bound { n; cache } -> Strategies.thread_bound (module E) ~n ~cache
+  | Icb_vb { n; max_bound; cache } ->
+    Strategies.icb_vb (module E) ~n ~max_bound ~cache ~env
 
 let default_checkpoint_every = Search_core.default_checkpoint_every
 
@@ -54,12 +74,12 @@ let default_checkpoint_every = Search_core.default_checkpoint_every
    domain-bound state internals still work. *)
 let run (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?telemetry ?(domains = 1) strategy =
+    ?telemetry ?(domains = 1) ?env strategy =
   Driver.run
     (fun _ -> (module E : Engine.S with type state = s))
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
     ?telemetry ~domains
-    (instantiate (module E) strategy)
+    (instantiate ?env (module E) strategy)
 
 let strategy_of_checkpoint (c : Checkpoint.t) =
   let f = Checkpoint.to_v3 c in
@@ -103,6 +123,15 @@ let strategy_of_checkpoint (c : Checkpoint.t) =
         seed = i64_p "seed" ~default:2007L;
       }
   | "most-enabled" -> Most_enabled { cache = bool_p "cache" }
+  | "vb" -> Variable_bound { n = int_p "n" ~default:1; cache = bool_p "cache" }
+  | "tb" -> Thread_bound { n = int_p "n" ~default:1; cache = bool_p "cache" }
+  | "icb-vb" ->
+    Icb_vb
+      {
+        n = int_p "n" ~default:1;
+        max_bound = Option.map int_of_string (List.assoc_opt "max_bound" p);
+        cache = bool_p "cache";
+      }
   | tag ->
     invalid_arg
       (Printf.sprintf
@@ -110,14 +139,14 @@ let strategy_of_checkpoint (c : Checkpoint.t) =
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?telemetry ?domains
-    (c : Checkpoint.t) =
+    ?env (c : Checkpoint.t) =
   let checkpoint_meta =
     match checkpoint_meta with Some m -> m | None -> c.meta
   in
   run
     (module E)
     ?options ?checkpoint_out ?checkpoint_every ~checkpoint_meta
-    ~resume_from:c ?telemetry ?domains
+    ~resume_from:c ?telemetry ?domains ?env
     (strategy_of_checkpoint c)
 
 let check (type s) (module E : Engine.S with type state = s)
@@ -155,3 +184,203 @@ let replay (type s) (module E : Engine.S with type state = s) schedule =
              tid (E.depth st))
       else E.step st tid)
     (E.initial ()) schedule
+
+(* --- the textual strategy catalogue ------------------------------------- *)
+
+(* The one list every accepted spelling comes from; the CLI help, the
+   parse error and the docs all render it so they cannot drift apart.
+   (form, description, argument range). *)
+let strategy_forms =
+  [
+    ("icb", "iterative context bounding, unbounded", None);
+    ("icb:N", "iterative context bounding up to N preemptions", Some "N>=0");
+    ("dfs", "plain depth-first search", None);
+    ("db:N", "depth-bounded DFS", Some "N>=1");
+    ("idfs:N", "iterative deepening DFS to depth N", Some "N>=1");
+    ("random", "random walks (see --seed)", None);
+    ("sleep", "DFS with sleep-set partial-order reduction", None);
+    ("pct:N", "probabilistic concurrency testing, N change points", Some "N>=1");
+    ("most-enabled", "best-first by enabled-thread count", None);
+    ( "vb:N",
+      "variable bounding: preemptions only around the N hottest shared \
+       variables",
+      Some "N>=1" );
+    ( "tb:N",
+      "thread bounding: only the N lowest-numbered threads get preempted",
+      Some "N>=1" );
+    ( "icb-vb:N",
+      "iterated preemption bound with non-bounded variables sealed",
+      Some "N>=1" );
+  ]
+
+let render_forms () =
+  String.concat ", "
+    (List.map
+       (fun (form, _, range) ->
+         match range with
+         | None -> form
+         | Some r -> Printf.sprintf "%s (%s)" form r)
+       strategy_forms)
+
+let parse_strategy ~seed s =
+  let starts_with prefix =
+    String.length s > String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let suffix_int prefix =
+    int_of_string_opt
+      (String.sub s (String.length prefix)
+         (String.length s - String.length prefix))
+  in
+  let bad () =
+    Error (Printf.sprintf "bad strategy: %s (accepted: %s)" s (render_forms ()))
+  in
+  (* parameterized form: parse the suffix, enforce the range, and say
+     which range was violated — never just "bad strategy" for a
+     well-formed number outside its range *)
+  let ranged prefix form ~min_n k =
+    match suffix_int prefix with
+    | Some n when n >= min_n -> Ok (k n)
+    | Some n ->
+      Error
+        (Printf.sprintf "bad strategy: %s — %s takes N>=%d, got %d" s form
+           min_n n)
+    | None -> bad ()
+  in
+  match s with
+  | "icb" -> Ok (Icb { max_bound = None; cache = true })
+  | "dfs" -> Ok (Dfs { cache = true })
+  | "random" -> Ok (Random_walk { seed })
+  | "sleep" -> Ok Sleep_dfs
+  | "most-enabled" -> Ok (Most_enabled { cache = true })
+  | _ when starts_with "icb-vb:" ->
+    ranged "icb-vb:" "icb-vb:N" ~min_n:1 (fun n ->
+        Icb_vb { n; max_bound = None; cache = true })
+  | _ when starts_with "icb:" ->
+    ranged "icb:" "icb:N" ~min_n:0 (fun b ->
+        Icb { max_bound = Some b; cache = true })
+  | _ when starts_with "db:" ->
+    ranged "db:" "db:N" ~min_n:1 (fun depth ->
+        Bounded_dfs { depth; cache = true })
+  | _ when starts_with "pct:" ->
+    ranged "pct:" "pct:N" ~min_n:1 (fun change_points ->
+        Pct { change_points; seed })
+  | _ when starts_with "idfs:" ->
+    ranged "idfs:" "idfs:N" ~min_n:1 (fun max_depth ->
+        Iterative_dfs { start = 10; incr = 10; max_depth; cache = true })
+  | _ when starts_with "vb:" ->
+    ranged "vb:" "vb:N" ~min_n:1 (fun n -> Variable_bound { n; cache = true })
+  | _ when starts_with "tb:" ->
+    ranged "tb:" "tb:N" ~min_n:1 (fun n -> Thread_bound { n; cache = true })
+  | _ -> bad ()
+
+(* --- the strategy registry ---------------------------------------------- *)
+
+(* One representative instance per strategy family, with the properties
+   the cross-strategy property tests need.  New strategies added here are
+   picked up automatically by the kill/resume and replay-determinism
+   suites — a strategy missing from this list escapes them, so additions
+   to [strategy] should always come with a registry entry. *)
+type registered = {
+  reg_name : string;
+  reg_strategy : strategy;
+  reg_checkpointable : bool;
+  reg_shardable : bool;
+  reg_exact : bool;
+      (* atomic items: kill/resume preserves the execution *multiset*;
+         inexact strategies guarantee the bug/state *sets* only *)
+  reg_bounded : bool;  (* no natural termination: needs an execution cap *)
+}
+
+let registry ?(seed = 2007L) () =
+  [
+    {
+      reg_name = "icb";
+      reg_strategy = Icb { max_bound = None; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "dfs";
+      reg_strategy = Dfs { cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = true;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "db:40";
+      reg_strategy = Bounded_dfs { depth = 40; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = true;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "idfs:48";
+      reg_strategy =
+        Iterative_dfs { start = 16; incr = 16; max_depth = 48; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = true;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "random";
+      reg_strategy = Random_walk { seed };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = true;
+      reg_bounded = true;
+    };
+    {
+      reg_name = "pct:3";
+      reg_strategy = Pct { change_points = 3; seed };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = true;
+      reg_bounded = true;
+    };
+    {
+      reg_name = "sleep-dfs";
+      reg_strategy = Sleep_dfs;
+      reg_checkpointable = false;
+      reg_shardable = false;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "most-enabled";
+      reg_strategy = Most_enabled { cache = false };
+      reg_checkpointable = true;
+      reg_shardable = false;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "vb:2";
+      reg_strategy = Variable_bound { n = 2; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "tb:2";
+      reg_strategy = Thread_bound { n = 2; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+    {
+      reg_name = "icb-vb:2";
+      reg_strategy = Icb_vb { n = 2; max_bound = None; cache = false };
+      reg_checkpointable = true;
+      reg_shardable = true;
+      reg_exact = false;
+      reg_bounded = false;
+    };
+  ]

@@ -49,8 +49,28 @@ type strategy =
   | Most_enabled of { cache : bool }
       (** best-first search preferring states with more enabled threads
           (Groce & Visser's heuristic, cited by the paper) *)
+  | Variable_bound of { n : int; cache : bool }
+      (** variable bounding (Bindal-Bansal-Lal, see docs/BOUNDS.md): only
+          preemption points around the [n] hottest shared variables admit
+          preemptions; the preemption *count* is unbounded.  Needs the
+          variable ranking from {!run}'s [?env] (resumes restore it from
+          the checkpoint) *)
+  | Thread_bound of { n : int; cache : bool }
+      (** thread bounding: only the [n] lowest-numbered threads (creation
+          order, main = 0) may be preempted *)
+  | Icb_vb of { n : int; max_bound : int option; cache : bool }
+      (** iterated preemption bound composed with variable sealing: ICB's
+          round structure, but deferrals only at preemption points around
+          the [n] hottest variables — strictly fewer executions per bound
+          than {!Icb} *)
 
 val strategy_name : strategy -> string
+
+val needs_env : strategy -> bool
+(** Whether the strategy consumes {!Strategy.env}'s shared-variable
+    ranking ({!Variable_bound} and {!Icb_vb}).  Callers for which building
+    an env costs something (the CHESS engine profiles an execution) gate
+    on this. *)
 
 val default_checkpoint_every : int
 
@@ -63,9 +83,14 @@ val run :
   ?resume_from:Checkpoint.t ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?env:Strategy.env ->
   strategy ->
   Sresult.t
 (** Explore the engine's transition system with the given strategy.
+    [env] supplies the shared-variable ranking consumed by
+    {!Variable_bound} and {!Icb_vb} ({!Strategy.env_of_prog} derives it
+    from a compiled program; [Icb.run] passes it automatically); with no
+    env a fresh variable-bounded search seals every preemption point.
     Never raises on limit exhaustion — limits simply yield a result with
     [complete = false] and a [stop_reason].
 
@@ -75,9 +100,9 @@ val run :
     schedule prefixes on its own states).  The result is deterministic
     and matches the serial search — see docs/PARALLEL.md for the exact
     guarantees and the [cache] caveat.  Every strategy whose frontier
-    shards accepts [domains > 1]: {!Icb}, the DFS family, {!Random_walk}
-    and {!Pct}; {!Sleep_dfs} and {!Most_enabled} raise
-    [Invalid_argument].
+    shards accepts [domains > 1]: {!Icb}, the DFS family, {!Random_walk},
+    {!Pct}, {!Variable_bound}, {!Thread_bound} and {!Icb_vb};
+    {!Sleep_dfs} and {!Most_enabled} raise [Invalid_argument].
 
     [checkpoint_out] (every strategy but {!Sleep_dfs}) writes a
     checkpoint to that path every [checkpoint_every] (default
@@ -99,6 +124,7 @@ val resume :
   ?checkpoint_meta:(string * string) list ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?env:Strategy.env ->
   Checkpoint.t ->
   Sresult.t
 (** Continue a checkpointed search: derives the strategy from the
@@ -137,3 +163,41 @@ val replay_prefix :
     truncation ({!Icb_repro.Minimize}): the earliest prefix exposing a
     bug is the witness, anything after it is noise.  Raises like
     {!replay} if a pre-terminal step names a disabled thread. *)
+
+(** {2 The textual strategy catalogue}
+
+    One list every accepted [--strategy] spelling comes from: the CLI help
+    text, the parse errors and the docs all render it, so they cannot
+    drift apart. *)
+
+val strategy_forms : (string * string * string option) list
+(** (form, description, argument range), e.g.
+    [("vb:N", "variable bounding: ...", Some "N>=1")]. *)
+
+val parse_strategy : seed:int64 -> string -> (strategy, string) result
+(** Parse a [--strategy] spelling.  [seed] seeds the randomized
+    strategies.  Rejections name the offending spelling and either the
+    violated range (["bad strategy: vb:0 — vb:N takes N>=1, got 0"]) or
+    the full list of accepted forms with their ranges. *)
+
+(** {2 The strategy registry}
+
+    One representative instance per strategy family, with the properties
+    the cross-strategy property suites need — kill/resume equivalence and
+    replay determinism iterate this list, so a new strategy added here is
+    covered automatically (and one missing from here silently escapes
+    them). *)
+
+type registered = {
+  reg_name : string;
+  reg_strategy : strategy;
+  reg_checkpointable : bool;
+  reg_shardable : bool;
+  reg_exact : bool;
+      (** atomic items: kill/resume preserves the execution {e multiset};
+          inexact strategies guarantee the bug/state {e sets} only *)
+  reg_bounded : bool;
+      (** no natural termination: the caller must cap executions *)
+}
+
+val registry : ?seed:int64 -> unit -> registered list

@@ -75,11 +75,20 @@ let step_guarded (type s) (module E : Engine.S with type state = s) col
    handed to [defer] for the next context bound.  [seen] is the optional
    state cache keyed on (signature, tid).
 
+   [admit st' tid] decides whether the preemption point reached at [st']
+   (the running thread [tid] still enabled, about to be switched away
+   from) admits preemptions at all: the variable- and thread-bounding
+   strategies seal points outside their bound.  A sealed point's
+   preempting branches are dropped — [seal] is called once per sealed
+   point so the strategy can report the search as bounded rather than
+   complete.  The default admits everything, which is exactly ICB.
+
    This closure is the unit of work of both the serial driver and the
    parallel executor: its subtree is fully determined by (schedule prefix,
-   tid), independent of who runs it or when. *)
+   tid) plus the strategy's deterministic [admit], independent of who runs
+   it or when. *)
 let icb_item (type s) (module E : Engine.S with type state = s) col ~seen
-    ~defer (st0, tid0) =
+    ?(admit = fun _ _ -> true) ?(seal = fun () -> ()) ~defer (st0, tid0) =
   let rec search (st, tid) =
     if not (seen st tid) then begin
       match step_guarded (module E) col st tid with
@@ -92,9 +101,13 @@ let icb_item (type s) (module E : Engine.S with type state = s) col ~seen
           if List.mem tid en then begin
             (* running thread still enabled: continue it without a context
                switch; scheduling anyone else here costs a preemption, so
-               defer those work items to the next bound *)
+               defer those work items to the next bound — unless the
+               bounding discipline seals this preemption point *)
             search (st', tid);
-            List.iter (fun t -> if t <> tid then defer st' t) en
+            if List.exists (fun t -> t <> tid) en then
+              if admit st' tid then
+                List.iter (fun t -> if t <> tid then defer st' t) en
+              else seal ()
           end
           else
             (* the running thread blocked or finished: switching is free *)

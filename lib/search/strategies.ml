@@ -239,7 +239,11 @@ let dfs_family (type s) (module _ : Engine.S with type state = s) ~tag_ ~name_
              old bound may have unexplored descendants below the new one *)
           Array.iter (fun w -> Hashtbl.reset w.w_seen) wstates;
           `Round [ root ]
-        | None -> `Bounded
+        | None ->
+          (* keep the count in the final checkpoint: resuming it must
+             re-derive `Bounded, not conclude `Complete *)
+          trunc_base := truncated;
+          `Bounded
 
     let to_prefixes ~wstates ~work ~next =
       let truncated =
@@ -656,6 +660,284 @@ let pct (type s) (module _ : Engine.S with type state = s) ~change_points
       if f.Checkpoint.v3_work = [] then
         (List.map Strategy.prefix_of (take_batch ()), [])
       else (f.Checkpoint.v3_work, f.Checkpoint.v3_next)
+  end)
+
+(* --- variable and thread bounding ---------------------------------------- *)
+
+(* Bindal, Bansal & Lal: instead of bounding *how many* preemptions an
+   execution may contain, bound *where* preemptions may happen — only
+   around the N hottest shared variables (vb:N), or only against the N
+   designated threads (tb:N).  Both reuse Algorithm 1's inner loop with an
+   [admit] predicate: a preemption point outside the bound is sealed (its
+   preempting branches dropped and counted) instead of deferred.
+
+   [vb]/[tb] explore the whole sealed subspace in one round, depth-first,
+   with no limit on the preemption count — the bound is the *where*, not
+   the *how many*.  [icb_vb] composes both: ICB's round structure (round =
+   context bound) with variable sealing applied to every deferral, so each
+   bound costs strictly fewer executions than raw ICB's. *)
+
+let top_var_keys (env : Strategy.env) n =
+  List.filteri (fun i _ -> i < n) env.Strategy.env_svars
+  |> List.map (fun sv -> sv.Strategy.sv_key)
+
+(* A preemption point admits preemptions iff the thread being switched
+   away from would next touch an admitted variable.  Speculative execution
+   via the engine's footprint hook; if the engine cannot speculate here we
+   conservatively admit (never miss a bug to an optimization). *)
+let var_admit (type s) (module E : Engine.S with type state = s) keys st tid =
+  match E.step_footprint st tid with
+  | exception Collector.Stop -> raise Collector.Stop
+  | exception _ -> true
+  | fp ->
+    Engine.Footprint.Var_set.exists
+      (fun v -> List.mem (Strategy.key_of_var v) keys)
+      fp.Engine.Footprint.vars
+
+(* vb:N and tb:N share this instance: one round over the sealed subspace.
+   Preempting branches go into the *current* round's queue (LIFO: depth
+   first), sealed points bump a per-worker counter — folded at the round
+   barrier and persisted through checkpoints ("sealed") so exhaustion is
+   reported as [`Bounded] whenever anything was sealed, [`Complete] only
+   when the bound turned out not to bound anything.  The counter is
+   advisory (a killed-and-resumed run may recount seals of re-run items);
+   only its zeroness is ever interpreted. *)
+let sealed_space (type s) (module _ : Engine.S with type state = s) ~tag_
+    ~name_ ~static ~cache ~uses_vars ~init_keys
+    ~(mk_admit :
+       (module Engine.S with type state = s) ->
+       string list ->
+       s ->
+       int ->
+       bool) : (module Strategy.S with type state = s) =
+  (module struct
+    type state = s
+
+    let name = name_
+    let tag = tag_
+    let checkpointable = true
+    let shardable = true
+    let discipline = `Lifo
+    let atomic_items = false
+
+    type wstate = {
+      w_cache : (int64 * int, unit) Hashtbl.t;
+      mutable w_sealed : int;
+    }
+
+    let wstate () = { w_cache = Hashtbl.create 4096; w_sealed = 0 }
+
+    (* the admitted variable keys; checkpoints persist them ("vars"), and
+       a resume restores them — authoritative over the constructor's,
+       so resuming does not need the original env *)
+    let keys = ref init_keys
+    let sealed_base = ref 0
+
+    let roots (module E : Engine.S with type state = state) _w col =
+      let s0 = E.initial () in
+      Collector.touch col (E.signature s0);
+      match E.status s0 with
+      | Engine.Running ->
+        List.map
+          (fun t -> item ~sched:[] ~payload:t ~state:(Some s0))
+          (E.enabled s0)
+      | status ->
+        Search_core.finish (module E) col s0 status;
+        []
+
+    let expand (module E : Engine.S with type state = state) w ctx it =
+      match ctx.Strategy.c_materialize it with
+      | None -> ()
+      | Some st ->
+        let seen st tid =
+          cache
+          &&
+          let k = (E.signature st, tid) in
+          Hashtbl.mem w.w_cache k || (Hashtbl.add w.w_cache k (); false)
+        in
+        Search_core.icb_item
+          (module E)
+          ctx.Strategy.c_col ~seen
+          ~admit:(mk_admit (module E : Engine.S with type state = state) !keys)
+          ~seal:(fun () -> w.w_sealed <- w.w_sealed + 1)
+          ~defer:(fun st' t ->
+            ctx.Strategy.c_push
+              (item ~sched:(E.schedule st') ~payload:t ~state:(Some st')))
+          (st, it.Strategy.i_payload)
+
+    let rank _ _ = 0
+    let round () = 0
+
+    let sealed_total wstates =
+      Array.fold_left (fun acc w -> acc + w.w_sealed) !sealed_base wstates
+
+    let after_round col ~wstates ~deferred:_ =
+      Collector.record_bound col 0;
+      let sealed = sealed_total wstates in
+      Array.iter (fun w -> w.w_sealed <- 0) wstates;
+      sealed_base := sealed;
+      if sealed = 0 then `Complete else `Bounded
+
+    let to_prefixes ~wstates ~work ~next =
+      {
+        Checkpoint.v3_tag = tag;
+        v3_params =
+          static
+          @ (if uses_vars then [ ("vars", String.concat "," !keys) ] else [])
+          @ [
+              ("cache", string_of_bool cache);
+              ("sealed", string_of_int (sealed_total wstates));
+            ];
+        v3_round = 0;
+        v3_work = work;
+        v3_next = next;
+      }
+
+    let of_prefixes _col (f : Checkpoint.v3) =
+      (if uses_vars then
+         match List.assoc_opt "vars" f.Checkpoint.v3_params with
+         | Some "" -> keys := []
+         | Some s -> keys := String.split_on_char ',' s
+         | None -> ());
+      sealed_base := int_param f.Checkpoint.v3_params "sealed" ~default:0;
+      (f.Checkpoint.v3_work, f.Checkpoint.v3_next)
+  end)
+
+let variable_bound (type s) (module E : Engine.S with type state = s) ~n
+    ~cache ~env : (module Strategy.S with type state = s) =
+  sealed_space
+    (module E)
+    ~tag_:"vb"
+    ~name_:(Printf.sprintf "vb:%d" n)
+    ~static:[ ("n", string_of_int n) ]
+    ~cache ~uses_vars:true
+    ~init_keys:(top_var_keys env n)
+    ~mk_admit:(fun (module E : Engine.S with type state = s) keys st tid ->
+      var_admit (module E) keys st tid)
+
+(* Designated threads are the N lowest tids (creation order, main = 0):
+   deterministic, env-free, and matching how the benchmarks spawn their
+   contending workers first. *)
+let thread_bound (type s) (module E : Engine.S with type state = s) ~n ~cache :
+    (module Strategy.S with type state = s) =
+  sealed_space
+    (module E)
+    ~tag_:"tb"
+    ~name_:(Printf.sprintf "tb:%d" n)
+    ~static:[ ("n", string_of_int n) ]
+    ~cache ~uses_vars:false ~init_keys:[]
+    ~mk_admit:(fun _ _ _ tid -> tid < n)
+
+(* ICB with variable sealing: identical round structure to [icb] (round =
+   context bound, preempting branches deferred), but deferrals only happen
+   at admitted preemption points.  Per bound it explores a subset of raw
+   ICB's executions, so a bug whose preemptions sit on hot variables is
+   found strictly cheaper; the price is completeness — exhaustion with
+   sealed points is [`Bounded], not [`Complete]. *)
+let icb_vb (type s) (module _ : Engine.S with type state = s) ~n ~max_bound
+    ~cache ~env : (module Strategy.S with type state = s) =
+  (module struct
+    type state = s
+
+    let name = Printf.sprintf "icb-vb:%d" n
+    let tag = "icb-vb"
+    let checkpointable = true
+    let shardable = true
+    let discipline = `Fifo
+    let atomic_items = false
+
+    type wstate = {
+      w_cache : (int64 * int, unit) Hashtbl.t;
+      mutable w_sealed : int;
+    }
+
+    let wstate () = { w_cache = Hashtbl.create 4096; w_sealed = 0 }
+    let bound = ref 0
+    let keys = ref (top_var_keys env n)
+    let sealed_base = ref 0
+
+    let roots (module E : Engine.S with type state = state) _w col =
+      Collector.note_bound col !bound;
+      let s0 = E.initial () in
+      Collector.touch col (E.signature s0);
+      match E.status s0 with
+      | Engine.Running ->
+        List.map
+          (fun t -> item ~sched:[] ~payload:t ~state:(Some s0))
+          (E.enabled s0)
+      | status ->
+        Search_core.finish (module E) col s0 status;
+        []
+
+    let expand (module E : Engine.S with type state = state) w ctx it =
+      Collector.note_bound ctx.Strategy.c_col !bound;
+      match ctx.Strategy.c_materialize it with
+      | None -> ()
+      | Some st ->
+        let seen st tid =
+          cache
+          &&
+          let k = (E.signature st, tid) in
+          Hashtbl.mem w.w_cache k || (Hashtbl.add w.w_cache k (); false)
+        in
+        Search_core.icb_item
+          (module E)
+          ctx.Strategy.c_col ~seen
+          ~admit:(var_admit (module E : Engine.S with type state = state) !keys)
+          ~seal:(fun () -> w.w_sealed <- w.w_sealed + 1)
+          ~defer:(fun st' t ->
+            ctx.Strategy.c_defer
+              (item ~sched:(E.schedule st') ~payload:t ~state:(Some st')))
+          (st, it.Strategy.i_payload)
+
+    let rank _ _ = 0
+    let round () = !bound
+
+    let sealed_total wstates =
+      Array.fold_left (fun acc w -> acc + w.w_sealed) !sealed_base wstates
+
+    let after_round col ~wstates ~deferred =
+      Collector.record_bound col !bound;
+      (* sealing spans rounds: carry the cumulative count *)
+      sealed_base := sealed_total wstates;
+      Array.iter (fun w -> w.w_sealed <- 0) wstates;
+      if deferred = [] then
+        if !sealed_base = 0 then `Complete else `Bounded
+      else
+        match max_bound with
+        | Some b when !bound >= b -> `Bounded
+        | Some _ | None ->
+          incr bound;
+          Collector.note_bound col !bound;
+          `Round deferred
+
+    let to_prefixes ~wstates ~work ~next =
+      {
+        Checkpoint.v3_tag = tag;
+        v3_params =
+          [ ("n", string_of_int n) ]
+          @ (match max_bound with
+            | None -> []
+            | Some b -> [ ("max_bound", string_of_int b) ])
+          @ [
+              ("vars", String.concat "," !keys);
+              ("cache", string_of_bool cache);
+              ("sealed", string_of_int (sealed_total wstates));
+            ];
+        v3_round = !bound;
+        v3_work = work;
+        v3_next = next;
+      }
+
+    let of_prefixes col (f : Checkpoint.v3) =
+      bound := f.Checkpoint.v3_round;
+      Collector.note_bound col !bound;
+      (match List.assoc_opt "vars" f.Checkpoint.v3_params with
+      | Some "" -> keys := []
+      | Some s -> keys := String.split_on_char ',' s
+      | None -> ());
+      sealed_base := int_param f.Checkpoint.v3_params "sealed" ~default:0;
+      (f.Checkpoint.v3_work, f.Checkpoint.v3_next)
   end)
 
 let _ = bool_param

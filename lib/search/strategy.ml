@@ -38,6 +38,46 @@ let visit = -1
 
 let prefix_of it = (it.i_sched, it.i_payload)
 
+(* --- shared-variable metadata ------------------------------------------- *)
+
+(* The variable-bounding strategies need to know which shared variables a
+   model has and how hot each one is.  Engines do not expose that — their
+   states only surface variables through step footprints — so the caller
+   supplies it out of band as a small context record: [Icb.run] derives
+   it statically from the compiled program ([Varmeta]), the CHESS engine
+   from one profiling execution of the test body.  Strategies that do not
+   bound variables ignore it entirely. *)
+
+type svar = {
+  sv_key : string;   (* stable encoding of the variable, see [key_of_var] *)
+  sv_name : string;  (* human name for reports and docs *)
+  sv_weight : int;   (* ranking weight; higher = hotter *)
+}
+
+type env = { env_svars : svar list }  (* ranked, heaviest first *)
+
+let empty_env = { env_svars = [] }
+
+(* Element-index-insensitive so an array is one variable and the heap's
+   object-wide [Hcell (addr, -1)] pseudo-variable matches its cells. *)
+let key_of_var : Icb_machine.Interp.var_id -> string = function
+  | Icb_machine.Interp.Gvar (gid, _) -> Printf.sprintf "g%d" gid
+  | Icb_machine.Interp.Svar (sid, _) -> Printf.sprintf "s%d" sid
+  | Icb_machine.Interp.Hcell (addr, _) -> Printf.sprintf "h%d" addr
+
+let env_of_prog prog =
+  {
+    env_svars =
+      List.map
+        (fun (v : Icb_machine.Varmeta.svar) ->
+          {
+            sv_key = key_of_var v.Icb_machine.Varmeta.v_var;
+            sv_name = v.Icb_machine.Varmeta.v_name;
+            sv_weight = v.Icb_machine.Varmeta.v_count;
+          })
+        (Icb_machine.Varmeta.ranked prog);
+  }
+
 (* What [expand] may do, wired up by the driver per worker. *)
 type 's ctx = {
   c_col : Collector.t;  (* this worker's collector *)

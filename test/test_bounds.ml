@@ -1,0 +1,146 @@
+(* Table-2-grade conformance for the bounding strategies: every one of
+   the suite's 16 bugs must be exposed by at least one member of the
+   bounding family — raw ICB, variable bounding (vb:N), thread bounding
+   (tb:N) or ICB with variable sealing (icb-vb:N) — under a uniform
+   execution budget, and ICB itself must expose each bug at exactly the
+   preemption bound Table 2 documents.  (The complementary lower-bound
+   half — "missed one bound lower" — is test_models' exhaustive check;
+   here the bound conformance is the cheap stop-at-first-bug half, so
+   the whole suite stays a fast tier-1 gate.) *)
+
+module Registry = Icb_models.Registry
+module Explore = Icb_search.Explore
+module Collector = Icb_search.Collector
+module Sresult = Icb_search.Sresult
+
+let check = Alcotest.check
+
+(* The family under test, in cheapest-first order.  n=1 and n=2 cover
+   the "one or two hot variables suffice" claim; tb:2 is the two
+   lowest-designated threads (main plus the first child). *)
+let family =
+  [
+    ("vb:1", Explore.Variable_bound { n = 1; cache = false });
+    ("vb:2", Explore.Variable_bound { n = 2; cache = false });
+    ("tb:2", Explore.Thread_bound { n = 2; cache = false });
+    ("icb-vb:2", Explore.Icb_vb { n = 2; max_bound = None; cache = false });
+    ("icb", Explore.Icb { max_bound = None; cache = false });
+  ]
+
+let budget =
+  {
+    Collector.default_options with
+    Collector.max_executions = Some 20_000;
+    stop_at_first_bug = true;
+  }
+
+let finders prog =
+  List.filter_map
+    (fun (name, strategy) ->
+      let r = Icb.run ~options:budget ~strategy prog in
+      if r.Sresult.bugs <> [] then Some name else None)
+    family
+
+let all_bugs =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      List.map (fun b -> (e.Registry.model_name, b)) e.Registry.bugs)
+    Registry.all
+
+(* --- every bug falls to some member of the family ------------------------- *)
+
+let coverage_cases =
+  List.map
+    (fun (model, (bug : Registry.bug_spec)) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s found by the bounding family" model
+           bug.Registry.bug_name)
+        `Quick
+        (fun () ->
+          let found = finders (bug.Registry.bug_program ()) in
+          check Alcotest.bool
+            (Printf.sprintf "found by at least one of {%s}"
+               (String.concat ", " (List.map fst family)))
+            true (found <> [])))
+    all_bugs
+
+(* --- ICB exposes each bug at exactly its Table-2 bound -------------------- *)
+
+let bound_cases =
+  List.map
+    (fun (model, (bug : Registry.bug_spec)) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s at ICB bound %d" model bug.Registry.bug_name
+           bug.Registry.expected_bound)
+        `Quick
+        (fun () ->
+          let prog = bug.Registry.bug_program () in
+          match
+            Icb.check prog ~max_bound:bug.Registry.expected_bound
+          with
+          | Some found ->
+            check Alcotest.int "minimal preemption count"
+              bug.Registry.expected_bound found.Sresult.preemptions
+          | None ->
+            Alcotest.failf "bug not found within bound %d"
+              bug.Registry.expected_bound))
+    all_bugs
+
+(* --- suite-level invariants ----------------------------------------------- *)
+
+let suite_cases =
+  [
+    Alcotest.test_case "the family covers all 16 Table-2 bugs" `Quick
+      (fun () -> check Alcotest.int "bug count" 16 (List.length all_bugs));
+    Alcotest.test_case "a sealed bound reports Bounded, never a false Complete"
+      `Quick (fun () ->
+        (* vb:1 on Peterson seals preemption points at every variable
+           outside the hottest one, so exhausting its subspace without
+           the bug at hand must come back complete=false — coverage
+           claims from a bounded search would be unsound *)
+        let prog =
+          Icb_models.Peterson.program Icb_models.Peterson.Bug_check_before_set
+        in
+        let r =
+          Icb.run
+            ~strategy:(Explore.Variable_bound { n = 1; cache = false })
+            prog
+        in
+        check Alcotest.bool "terminates naturally" true
+          (r.Sresult.stop_reason = None);
+        check Alcotest.bool "not claimed complete" false r.Sresult.complete);
+    Alcotest.test_case "icb-vb explores no more than raw ICB per bound" `Quick
+      (fun () ->
+        (* sealing only ever drops branches: on any model, icb-vb:N run
+           to completion performs at most ICB's executions *)
+        let prog =
+          Icb_models.Workstealing.program
+            Icb_models.Workstealing.Bug_unlocked_steal
+        in
+        let opts =
+          {
+            Collector.default_options with
+            Collector.max_executions = Some 20_000;
+          }
+        in
+        let icb =
+          Icb.run ~options:opts
+            ~strategy:(Explore.Icb { max_bound = Some 2; cache = false })
+            prog
+        in
+        let vb =
+          Icb.run ~options:opts
+            ~strategy:(Explore.Icb_vb { n = 2; max_bound = Some 2; cache = false })
+            prog
+        in
+        check Alcotest.bool "icb-vb:2 <= icb executions" true
+          (vb.Sresult.executions <= icb.Sresult.executions));
+  ]
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ("coverage", coverage_cases);
+      ("table2-bound", bound_cases);
+      ("suite", suite_cases);
+    ]

@@ -80,84 +80,56 @@ type case = {
          has no natural end on this model (the randomized walkers) *)
   c_exact : bool;
       (* atomic-item strategies resume exactly: the kill+resume tape is
-         the uninterrupted run's execution multiset.  ICB and
-         most-enabled conservatively re-run the interrupted item, so for
-         them only the de-duplicated schedule set is invariant. *)
+         the uninterrupted run's execution multiset.  ICB, most-enabled
+         and the sealed-space bounds conservatively re-run the
+         interrupted item, so for them only the de-duplicated schedule
+         set is invariant. *)
   c_shardable : bool; (* also resume the same checkpoint with --jobs 2 *)
 }
 
+(* Derived from the strategy registry, so a newly registered strategy is
+   covered by this suite automatically — the hand-maintained list this
+   replaces silently missed additions. *)
 let cases =
-  [
-    {
-      c_name = "icb";
-      c_strategy = Explore.Icb { max_bound = None; cache = false };
-      c_horizon = None;
-      c_exact = false;
-      c_shardable = true;
-    };
-    {
-      c_name = "dfs";
-      c_strategy = Explore.Dfs { cache = false };
-      c_horizon = None;
-      c_exact = true;
-      c_shardable = true;
-    };
-    {
-      c_name = "db:40";
-      c_strategy = Explore.Bounded_dfs { depth = 40; cache = false };
-      c_horizon = None;
-      c_exact = true;
-      c_shardable = true;
-    };
-    {
-      c_name = "idfs:48";
-      c_strategy =
-        Explore.Iterative_dfs
-          { start = 8; incr = 8; max_depth = 48; cache = false };
-      c_horizon = None;
-      c_exact = true;
-      c_shardable = true;
-    };
-    {
-      c_name = "random";
-      c_strategy = Explore.Random_walk { seed = 11L };
-      c_horizon = Some 400;
-      c_exact = true;
-      c_shardable = true;
-    };
-    {
-      c_name = "pct:2";
-      c_strategy = Explore.Pct { change_points = 2; seed = 11L };
-      c_horizon = Some 400;
-      c_exact = true;
-      c_shardable = true;
-    };
-    {
-      c_name = "most-enabled";
-      c_strategy = Explore.Most_enabled { cache = false };
-      c_horizon = None;
-      c_exact = false;
-      c_shardable = false;
-    };
-  ]
+  List.filter_map
+    (fun (r : Explore.registered) ->
+      if not r.Explore.reg_checkpointable then None
+      else
+        Some
+          {
+            c_name = r.Explore.reg_name;
+            c_strategy = r.Explore.reg_strategy;
+            c_horizon = (if r.Explore.reg_bounded then Some 400 else None);
+            c_exact = r.Explore.reg_exact;
+            c_shardable = r.Explore.reg_shardable;
+          })
+    (Explore.registry ~seed:11L ())
 
 let kill_resume_case c () =
   let prog =
     Icb_models.Peterson.program Icb_models.Peterson.Bug_check_before_set
   in
   let msg s = Printf.sprintf "%s: %s" c.c_name s in
+  (* vb/icb-vb consume the program's shared-variable ranking.  Fresh runs
+     get it explicitly; the resumes below deliberately do NOT, exercising
+     the checkpoint's authoritative restoration of the ranked keys. *)
+  let env = Icb_search.Strategy.env_of_prog prog in
   (* uninterrupted reference run *)
   let full_tape = ref [] in
   let full =
     Explore.run
       (recording_engine prog full_tape)
-      ~options:(opts c.c_horizon) c.c_strategy
+      ~options:(opts c.c_horizon) ~env c.c_strategy
   in
   (match c.c_horizon with
   | Some h -> check Alcotest.int (msg "full run hits its horizon") h
                 full.Sresult.executions
   | None ->
-    check Alcotest.bool (msg "full run completes") true full.Sresult.complete);
+    (* naturally terminated: either `Complete or `Bounded (the sealed
+       bounds exhaust their subspace without covering everything) — in
+       both cases no stop reason is recorded *)
+    check Alcotest.bool (msg "full run terminates naturally") true
+      (full.Sresult.stop_reason = None));
   (* kill mid-search.  An execution limit is a deterministic stand-in
      for an arbitrary deadline or kill -9: the checkpoint on disk when
      the limit fires is exactly what a killed process leaves behind
@@ -176,7 +148,7 @@ let kill_resume_case c () =
     Explore.run
       (recording_engine prog kill_tape)
       ~options:(opts (Some kill_at))
-      ~checkpoint_out:path ~checkpoint_every:max_int c.c_strategy
+      ~checkpoint_out:path ~checkpoint_every:max_int ~env c.c_strategy
   in
   check Alcotest.bool (msg "was interrupted") true
     (killed.Sresult.stop_reason = Some Sresult.Execution_limit);
@@ -246,7 +218,7 @@ let kill_resume_case c () =
          Explore.run
            (recording_engine prog wide_tape)
            ~options:(opts (Some (h + 72)))
-           c.c_strategy
+           ~env c.c_strategy
        in
        check Alcotest.bool (msg "parallel resume: reached the horizon") true
          (resumed_par.Sresult.executions >= h);
@@ -341,8 +313,88 @@ let v2_compat_tests =
     ;
   ]
 
+(* --- v3 string-param round-trip ------------------------------------------- *)
+
+(* A committed v3 checkpoint of a vb:2 run killed mid-search (3 of 6
+   executions on the peterson bug model, written by the CLI — which
+   defaults the state cache on).  Exercises the sealed-space bounds'
+   string params: the ranked variable keys are restored from the
+   checkpoint, so resuming needs no Strategy.env. *)
+let v3_fixture_tests =
+  [
+    Alcotest.test_case "a v3 vb checkpoint carries and round-trips its params"
+      `Quick (fun () ->
+        let ck = Checkpoint.load (fixture "v3-vb.ckpt") in
+        check Alcotest.string "strategy name" "vb:2" ck.Checkpoint.strategy;
+        let v3 = Checkpoint.to_v3 ck in
+        check Alcotest.string "v3 tag" "vb" v3.Checkpoint.v3_tag;
+        let param k = List.assoc_opt k v3.Checkpoint.v3_params in
+        check (Alcotest.option Alcotest.string) "n param" (Some "2")
+          (param "n");
+        check Alcotest.bool "vars param present (ranked keys travel)" true
+          (match param "vars" with Some v -> v <> "" | None -> false);
+        check Alcotest.bool "sealed param present" true (param "sealed" <> None);
+        (* save/load preserves every v3 field bit-for-bit (modulo the
+           nondeterministic timing params, which save re-stamps) *)
+        let path = tmp_ckpt () in
+        Checkpoint.save ~path ck;
+        let ck' = Checkpoint.load path in
+        Sys.remove path;
+        let v3' = Checkpoint.to_v3 ck' in
+        let strip ps =
+          List.filter
+            (fun (k, _) ->
+              k <> Checkpoint.elapsed_key && k <> Checkpoint.bound_times_key)
+            ps
+        in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "params survive the round-trip"
+          (strip v3.Checkpoint.v3_params)
+          (strip v3'.Checkpoint.v3_params);
+        check Alcotest.int "round survives" v3.Checkpoint.v3_round
+          v3'.Checkpoint.v3_round;
+        check Alcotest.int "work survives"
+          (List.length v3.Checkpoint.v3_work)
+          (List.length v3'.Checkpoint.v3_work);
+        check Alcotest.int "deferred survives"
+          (List.length v3.Checkpoint.v3_next)
+          (List.length v3'.Checkpoint.v3_next))
+    ;
+    Alcotest.test_case "a v3 vb checkpoint resumes to the full result"
+      `Quick (fun () ->
+        let prog =
+          Icb_models.Peterson.program Icb_models.Peterson.Bug_check_before_set
+        in
+        (* the fixture was written by the CLI, whose parsed vb:2 has the
+           state cache on — match it for a comparable fresh run *)
+        let fresh =
+          Icb.run
+            ~strategy:(Explore.Variable_bound { n = 2; cache = true })
+            prog
+        in
+        List.iter
+          (fun domains ->
+            let r =
+              Icb.resume ~domains prog
+                (Checkpoint.load (fixture "v3-vb.ckpt"))
+            in
+            check Alcotest.string "same strategy" fresh.Sresult.strategy
+              r.Sresult.strategy;
+            check (Alcotest.list Alcotest.string) "same bug set"
+              (bug_keys fresh) (bug_keys r);
+            check Alcotest.int "same states" fresh.Sresult.distinct_states
+              r.Sresult.distinct_states;
+            check Alcotest.bool "naturally terminated" true
+              (r.Sresult.stop_reason = None))
+          [ 1; 2 ])
+    ;
+  ]
+
 let () =
   Alcotest.run "frontier"
     [
-      ("kill-resume", kill_resume_tests); ("v2-compat", v2_compat_tests);
+      ("kill-resume", kill_resume_tests);
+      ("v2-compat", v2_compat_tests);
+      ("v3-fixture", v3_fixture_tests);
     ]

@@ -558,28 +558,27 @@ let cross_strategy_tests =
               (fun (b : Icb_models.Registry.bug_spec) ->
                 let name = e.model_name ^ "/" ^ b.bug_name in
                 let prog = b.bug_program () in
-                let first =
-                  { Collector.default_options with stop_at_first_bug = true }
-                in
-                let runs =
-                  [
-                    ( "icb",
-                      Explore.Icb
-                        {
-                          max_bound = Some (max 3 b.expected_bound);
-                          cache = false;
-                        },
-                      first );
-                    ( "dfs",
-                      Explore.Dfs { cache = true },
-                      { first with max_executions = Some 200_000 } );
-                    ( "random",
-                      Explore.Random_walk { seed = 2007L },
-                      { first with max_executions = Some 50_000 } );
-                  ]
+                (* Every registered strategy family, not a hand list: a
+                   new strategy registered in [Explore.registry] is held
+                   to this property automatically.  No bug found under
+                   the caps is fine — the property quantifies over found
+                   bugs.  The total-steps cap is what actually bounds
+                   the sweep: best-first strategies can grow a frontier
+                   of millions of internal states while completing few
+                   executions, so an execution cap alone bounds neither
+                   time nor memory. *)
+                let options =
+                  {
+                    Collector.default_options with
+                    stop_at_first_bug = true;
+                    max_executions = Some 20_000;
+                    max_total_steps = Some 200_000;
+                  }
                 in
                 List.iter
-                  (fun (sname, strategy, options) ->
+                  (fun (reg : Explore.registered) ->
+                    let sname = reg.Explore.reg_name in
+                    let strategy = reg.Explore.reg_strategy in
                     let r = Icb.run ~options ~strategy prog in
                     List.iter
                       (fun (bug : Sresult.bug) ->
@@ -609,9 +608,72 @@ let cross_strategy_tests =
                           bug.context_switches
                           (Icb_repro.Sched.count_switches (E.schedule final)))
                       r.Sresult.bugs)
-                  runs)
+                  (Explore.registry ()))
               e.bugs)
           Icb_models.Registry.all);
+  ]
+
+(* --- strategy spelling: every rejection says why -------------------------- *)
+
+let parse_reject_tests =
+  let seed = 2007L in
+  let rejects input expected =
+    Alcotest.test_case (Printf.sprintf "rejects %S" input) `Quick (fun () ->
+        match Explore.parse_strategy ~seed input with
+        | Ok _ -> Alcotest.failf "%S unexpectedly parsed" input
+        | Error msg -> Alcotest.check Alcotest.string "message" expected msg)
+  in
+  let accepted =
+    "icb, icb:N (N>=0), dfs, db:N (N>=1), idfs:N (N>=1), random, sleep, \
+     pct:N (N>=1), most-enabled, vb:N (N>=1), tb:N (N>=1), icb-vb:N (N>=1)"
+  in
+  let unknown input =
+    rejects input
+      (Printf.sprintf "bad strategy: %s (accepted: %s)" input accepted)
+  in
+  let out_of_range input form min_n got =
+    rejects input
+      (Printf.sprintf "bad strategy: %s — %s takes N>=%d, got %d" input form
+         min_n got)
+  in
+  [
+    (* malformed: not a known form at all *)
+    unknown "bogus";
+    unknown "icb:x";
+    unknown "vb:";
+    unknown "icb-vb:two";
+    (* well-formed number outside its range: the error names the range,
+       never just "bad strategy" *)
+    out_of_range "icb:-1" "icb:N" 0 (-1);
+    out_of_range "db:0" "db:N" 1 0;
+    out_of_range "idfs:0" "idfs:N" 1 0;
+    out_of_range "pct:0" "pct:N" 1 0;
+    out_of_range "vb:0" "vb:N" 1 0;
+    out_of_range "tb:0" "tb:N" 1 0;
+    out_of_range "icb-vb:0" "icb-vb:N" 1 0;
+    (* the accepted list itself is rendered from [strategy_forms], so the
+       round-trip of every listed base form must parse *)
+    Alcotest.test_case "every listed form parses at its minimum" `Quick
+      (fun () ->
+        List.iter
+          (fun (form, _, range) ->
+            let spelling =
+              match range with
+              | None -> form
+              | Some r ->
+                let min_n =
+                  Scanf.sscanf r "N>=%d" (fun n -> n)
+                in
+                (* "vb:N" -> "vb:<min>" *)
+                String.sub form 0 (String.length form - 1)
+                ^ string_of_int min_n
+            in
+            match Explore.parse_strategy ~seed spelling with
+            | Ok _ -> ()
+            | Error msg ->
+              Alcotest.failf "%S (from listed form %S) rejected: %s" spelling
+                form msg)
+          Explore.strategy_forms);
   ]
 
 let () =
@@ -623,4 +685,5 @@ let () =
       ("config", config_tests);
       ("extensions", extension_tests);
       ("cross-strategy", cross_strategy_tests);
+      ("strategy-parse", parse_reject_tests);
     ]
