@@ -1081,6 +1081,230 @@ let bounds_bench () =
   end;
   if !failed then exit 1 else print_endline "bounds conformance: OK"
 
+(* ------------------------------------------------------------------------- *)
+(* Replay cache: cached vs stateless machine steps executed                   *)
+(* ------------------------------------------------------------------------- *)
+
+(* Runs the full ICB search twice per model — prefix-snapshot replay
+   cache on (the default) and off (the --no-cache stateless discipline,
+   where every work item replays its schedule prefix from the initial
+   state) — and reports executions/second plus total machine steps
+   executed: the collector's expansion steps, which are identical in
+   both modes, plus the replay steps the cache exists to avoid.
+   Asserts:
+   - the two runs are observationally identical (bug sets, execution
+     counts, per-bound curves, states, expansion steps) — the
+     correctness bar of docs/REPLAY_CACHE.md;
+   - on the deep models the stateless discipline executes at least 3x
+     the machine steps of the cached run;
+   - each steps ratio stays within 0.8x of the committed baseline
+     (bench/replay_cache_baseline.json), so a change that silently stops
+     caching fails CI — the ratio is deterministic, so the tolerance
+     only absorbs deliberate exploration-order changes;
+   - with >= 4 cores, the cached runs are also faster on wall clock
+     (the steps ratio alone is immune to machine noise, so only this
+     assertion is core-gated).
+   BENCH_REPLAY_CACHE_MODELS (comma-separated lowercase names, e.g.
+   "work-stealing-queue,transaction-manager") restricts the list for CI
+   smoke. *)
+
+let replay_cache_models :
+    (string * (unit -> Icb.prog) * int * bool) list =
+  [
+    (* model, program, ICB preemption bound, deep (3x floor asserted).
+       The replay tax [1 + replayed/expanded] grows with the bound only
+       while executions keep lengthening under contention; models whose
+       executions have a fixed length (Work-Stealing Queue, Bluetooth)
+       saturate near 2x and are kept here as reference points, not gated.
+       Peterson (spin loops) and the transaction manager (retry loops)
+       keep climbing, so they carry the >= 3x acceptance floor. *)
+    ( "Peterson",
+      (fun () -> Icb_models.Peterson.program Icb_models.Peterson.Correct),
+      7,
+      true );
+    ( "Transaction Manager",
+      (fun () -> Icb_models.Transaction.program Icb_models.Transaction.Correct),
+      5,
+      true );
+    ( "Work Stealing Queue",
+      (fun () -> Icb_models.Workstealing.program Icb_models.Workstealing.Correct),
+      3,
+      false );
+    ("Bluetooth", (fun () -> Icb_models.Bluetooth.program ~bug:false), 3, false);
+    ( "File System Model",
+      (fun () -> Icb_models.Filesystem.program ~threads:3),
+      2,
+      false );
+  ]
+
+let replay_cache_bench () =
+  section "Replay cache: cached vs stateless machine steps executed";
+  let failed = ref false in
+  let check what ok =
+    if not ok then begin
+      failed := true;
+      Printf.printf "FAILED: %s\n" what
+    end
+  in
+  let models =
+    match Sys.getenv_opt "BENCH_REPLAY_CACHE_MODELS" with
+    | None | Some "" -> replay_cache_models
+    | Some s ->
+      let names = List.map String.trim (String.split_on_char ',' s) in
+      List.filter
+        (fun (name, _, _, _) ->
+          List.mem
+            (String.map
+               (fun c -> if c = ' ' then '-' else c)
+               (String.lowercase_ascii name))
+            names)
+        replay_cache_models
+  in
+  let baseline =
+    let path =
+      Option.value
+        (Sys.getenv_opt "REPLAY_CACHE_BASELINE")
+        ~default:"bench/replay_cache_baseline.json"
+    in
+    if not (Sys.file_exists path) then None
+    else
+      let ic = open_in path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.parse src with
+      | Json.Obj fields ->
+        Some
+          (List.filter_map
+             (fun (k, v) ->
+               match v with
+               | Json.Float f -> Some (k, f)
+               | Json.Int i -> Some (k, float_of_int i)
+               | _ -> None)
+             fields)
+      | _ | (exception Json.Parse_error _) -> None
+  in
+  if baseline = None then
+    print_endline
+      "(no committed baseline found; the ratio-vs-baseline gate is skipped)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let results =
+    List.map
+      (fun (name, prog_of, bound, deep) ->
+        let prog = prog_of () in
+        let run cache =
+          let stats = ref (Icb_search.Replay_cache.zero ()) in
+          let r, t =
+            time (fun () ->
+                Icb.run ~cache
+                  ~on_cache_stats:(fun s -> stats := s)
+                  ~strategy:(Explore.Icb { max_bound = Some bound; cache = false })
+                  prog)
+          in
+          (r, t, !stats)
+        in
+        let rc, tc, sc = run true in
+        let ru, tu, su = run false in
+        let keys (r : Sresult.t) =
+          List.sort compare
+            (List.map (fun (b : Sresult.bug) -> b.Sresult.key) r.bugs)
+        in
+        check (name ^ ": cached and uncached runs observationally identical")
+          (keys rc = keys ru
+          && rc.Sresult.executions = ru.Sresult.executions
+          && rc.distinct_states = ru.distinct_states
+          && rc.bound_executions = ru.bound_executions
+          && rc.total_steps = ru.total_steps);
+        let steps_of (r : Sresult.t) (s : Icb_search.Replay_cache.stats) =
+          r.Sresult.total_steps + s.Icb_search.Replay_cache.steps_replayed
+        in
+        let cached_steps = steps_of rc sc in
+        let uncached_steps = steps_of ru su in
+        let ratio =
+          float_of_int uncached_steps /. float_of_int (max 1 cached_steps)
+        in
+        if deep then
+          check
+            (Printf.sprintf "%s: stateless replay tax >= 3x (got %.2fx)" name
+               ratio)
+            (ratio >= 3.0);
+        (match Option.bind baseline (List.assoc_opt name) with
+        | Some base ->
+          check
+            (Printf.sprintf "%s: steps ratio %.2fx within 0.8x of baseline %.2fx"
+               name ratio base)
+            (ratio >= 0.8 *. base)
+        | None -> ());
+        record name
+          (Json.Obj
+             [
+               ("bound", Json.Int bound);
+               ("executions", Json.Int rc.Sresult.executions);
+               ("cached_steps_executed", Json.Int cached_steps);
+               ("uncached_steps_executed", Json.Int uncached_steps);
+               ("steps_ratio", Json.Float ratio);
+               ("cached_execs_per_sec", Json.Float (float_of_int rc.executions /. max tc 1e-9));
+               ("uncached_execs_per_sec", Json.Float (float_of_int ru.executions /. max tu 1e-9));
+               ("cached_seconds", Json.Float tc);
+               ("uncached_seconds", Json.Float tu);
+               ("cache_hits", Json.Int sc.Icb_search.Replay_cache.hits);
+               ("cache_misses", Json.Int sc.Icb_search.Replay_cache.misses);
+               ("steps_saved", Json.Int sc.Icb_search.Replay_cache.steps_saved);
+             ]);
+        (name, bound, rc, tc, ru, tu, cached_steps, uncached_steps, ratio))
+      models
+  in
+  subsection "total machine steps executed, cached vs stateless";
+  print_table
+    [
+      "Program"; "Bound"; "Execs"; "Steps (cached)"; "Steps (stateless)";
+      "Ratio"; "Execs/s (cached)"; "Execs/s (stateless)";
+    ]
+    (List.map
+       (fun (name, bound, (rc : Sresult.t), tc, (ru : Sresult.t), tu, cs, us, ratio) ->
+         [
+           name;
+           string_of_int bound;
+           string_of_int rc.executions;
+           string_of_int cs;
+           string_of_int us;
+           Printf.sprintf "%.2fx" ratio;
+           Printf.sprintf "%.0f" (float_of_int rc.executions /. max tc 1e-9);
+           Printf.sprintf "%.0f" (float_of_int ru.executions /. max tu 1e-9);
+         ])
+       results);
+  let t_cached =
+    List.fold_left (fun a (_, _, _, tc, _, _, _, _, _) -> a +. tc) 0.0 results
+  in
+  let t_uncached =
+    List.fold_left (fun a (_, _, _, _, _, tu, _, _, _) -> a +. tu) 0.0 results
+  in
+  let speedup = t_uncached /. max t_cached 1e-9 in
+  Printf.printf "\nwall clock: cached %.2fs, stateless %.2fs (%.2fx)\n" t_cached
+    t_uncached speedup;
+  record "wall_clock"
+    (Json.Obj
+       [
+         ("cached_seconds", Json.Float t_cached);
+         ("uncached_seconds", Json.Float t_uncached);
+         ("speedup", Json.Float speedup);
+       ]);
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 4 then
+    check
+      (Printf.sprintf "cached wall clock at least as fast (%d cores)" cores)
+      (speedup >= 1.0)
+  else
+    Printf.printf
+      "wall-clock assertion skipped: %d core(s) available (needs >= 4)\n" cores;
+  if !failed then exit 1 else print_endline "replay cache: OK"
+
 let experiments =
   [
     ("table1", table1);
@@ -1101,6 +1325,7 @@ let experiments =
     ("parallel", parallel_bench);
     ("repro", repro_bench);
     ("bounds", bounds_bench);
+    ("replay_cache", replay_cache_bench);
   ]
 
 let () =
@@ -1140,6 +1365,9 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
+      (* the CLI spelling `replaycache` is an alias; the canonical name
+         keeps the BENCH_replay_cache.json artifact readable *)
+      let name = if name = "replaycache" then "replay_cache" else name in
       match List.assoc_opt name experiments with
       | Some f ->
         bench_data := [];

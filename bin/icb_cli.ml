@@ -19,7 +19,9 @@
    The same four commands take --trace/--metrics/--metrics-every to
    stream structured telemetry and --quiet to silence the progress line
    (docs/OBSERVABILITY.md), and --repro-dir DIR to drop one repro bundle
-   per deduplicated bug (docs/REPRO.md).
+   per deduplicated bug (docs/REPRO.md).  --no-cache disables the
+   prefix-snapshot replay cache (docs/REPLAY_CACHE.md) without changing
+   what is explored.
 
    Exit codes: 0 ok / no bug, 1 bug found (or triage found new bugs
    against a --known baseline), 2 usage or input error, 3 interrupted
@@ -157,6 +159,17 @@ let repro_dir_arg =
      docs/REPRO.md."
   in
   Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the prefix-snapshot replay cache: every work item replays \
+     its full schedule prefix from the initial state instead of resuming \
+     from a memoized snapshot.  The explored executions, bugs and \
+     checkpoints are identical either way — this is the escape hatch for \
+     ruling the cache out when debugging, at a (often large) replay \
+     cost.  See docs/REPLAY_CACHE.md."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
 
 let first_bug_arg =
   let doc =
@@ -321,7 +334,7 @@ let report_bug prog (bug : Icb.bug) =
    first bug, with optional deadline and checkpointing.  Exit codes:
    0 no bug, 1 bug found, 2 usage error, 3 interrupted (partial result). *)
 let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
-    ~checkpoint_every ~resume_from ~jobs ~repro_dir ~seed () =
+    ~checkpoint_every ~resume_from ~jobs ~repro_dir ~seed ~no_cache () =
   validate_checkpoint_path checkpoint;
   if jobs < 1 then begin
     Format.eprintf "--jobs must be at least 1@.";
@@ -336,14 +349,15 @@ let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
     match resume_from with
     | Some ckpt ->
       Icb.resume ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-        ~checkpoint_meta:meta ?telemetry ~domains:jobs prog ckpt
+        ~checkpoint_meta:meta ?telemetry ~domains:jobs ~cache:(not no_cache)
+        prog ckpt
     | None when jobs > 1 ->
       Icb.run_parallel ~config ~options ?checkpoint_out:checkpoint
         ~checkpoint_every ~checkpoint_meta:meta ?telemetry ~max_bound:bound
-        ~cache:false ~domains:jobs prog
+        ~cache:false ~replay_cache:(not no_cache) ~domains:jobs prog
     | None ->
       Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
-        ~checkpoint_meta:meta ?telemetry
+        ~checkpoint_meta:meta ?telemetry ~cache:(not no_cache)
         ~strategy:
           (Icb_search.Explore.Icb { max_bound = Some bound; cache = false })
         prog
@@ -379,7 +393,7 @@ let run_check ~prog ~meta ~bound ~rt ~options ~gran ~checkpoint
 
 let check_run path bound seed no_deadlock gran timeout checkpoint
     checkpoint_every jobs progress trace metrics metrics_every quiet repro_dir
-    =
+    no_cache =
   match load_program path with
   | exception Icb.Compile_error msg ->
     Format.eprintf "%s@." msg;
@@ -401,7 +415,7 @@ let check_run path bound seed no_deadlock gran timeout checkpoint
     run_check ~prog ~meta ~bound ~rt
       ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ~repro_dir
-      ~seed ()
+      ~seed ~no_cache ()
 
 let check_cmd =
   let path =
@@ -428,13 +442,13 @@ let check_cmd =
       const check_run $ path $ bound_arg $ seed_arg $ no_deadlock_arg
       $ granularity_arg $ timeout_arg $ checkpoint_arg $ checkpoint_every_arg
       $ jobs_arg $ progress_arg $ trace_arg $ metrics_arg $ metrics_every_arg
-      $ quiet_arg $ repro_dir_arg)
+      $ quiet_arg $ repro_dir_arg $ no_cache_arg)
 
 (* --- check-model -------------------------------------------------------------- *)
 
 let check_model_run name bound seed no_deadlock gran timeout checkpoint
     checkpoint_every jobs progress trace metrics metrics_every quiet repro_dir
-    =
+    no_cache =
   match resolve_model name with
   | Error msg ->
     Format.eprintf "%s@." msg;
@@ -456,7 +470,7 @@ let check_model_run name bound seed no_deadlock gran timeout checkpoint
     run_check ~prog ~meta ~bound ~rt
       ~options:(options_of ~no_deadlock ~timeout rt)
       ~gran ~checkpoint ~checkpoint_every ~resume_from:None ~jobs ~repro_dir
-      ~seed ()
+      ~seed ~no_cache ()
 
 let check_model_cmd =
   let model_name =
@@ -476,12 +490,13 @@ let check_model_cmd =
       const check_model_run $ model_name $ bound_arg $ seed_arg
       $ no_deadlock_arg $ granularity_arg $ timeout_arg $ checkpoint_arg
       $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
-      $ metrics_arg $ metrics_every_arg $ quiet_arg $ repro_dir_arg)
+      $ metrics_arg $ metrics_every_arg $ quiet_arg $ repro_dir_arg
+      $ no_cache_arg)
 
 (* --- resume ------------------------------------------------------------------- *)
 
 let resume_run file timeout checkpoint checkpoint_every jobs progress trace
-    metrics metrics_every quiet repro_dir first_bug =
+    metrics metrics_every quiet repro_dir first_bug no_cache =
   match Icb_search.Checkpoint.load file with
   | exception Icb_search.Checkpoint.Corrupt msg ->
     Format.eprintf "%s@." msg;
@@ -553,8 +568,8 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress trace
         try
           Icb.resume ~config ~options
             ~checkpoint_out:(Option.value checkpoint ~default:file)
-            ~checkpoint_every ?telemetry:rt.rt_telemetry ~domains:jobs prog
-            ckpt
+            ~checkpoint_every ?telemetry:rt.rt_telemetry ~domains:jobs
+            ~cache:(not no_cache) prog ckpt
         with Invalid_argument msg ->
           Format.eprintf "%s@." msg;
           exit 2
@@ -597,7 +612,7 @@ let resume_run file timeout checkpoint checkpoint_every jobs progress trace
         (Option.value
            (Option.bind (meta "seed") Int64.of_string_opt)
            ~default:2007L)
-      ())
+      ~no_cache ())
 
 let resume_cmd =
   let file =
@@ -628,7 +643,7 @@ let resume_cmd =
       const resume_run $ file $ timeout_arg $ checkpoint_arg
       $ checkpoint_every_arg $ jobs_arg $ progress_arg $ trace_arg
       $ metrics_arg $ metrics_every_arg $ quiet_arg $ repro_dir_arg
-      $ first_bug_arg)
+      $ first_bug_arg $ no_cache_arg)
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -658,7 +673,7 @@ let parse_strategy ~seed s = Icb_search.Explore.parse_strategy ~seed s
 
 let explore_run path model strategy_str seed no_deadlock gran max_execs
     timeout checkpoint checkpoint_every jobs progress trace metrics
-    metrics_every quiet repro_dir first_bug =
+    metrics_every quiet repro_dir first_bug no_cache =
   let kind, target, prog =
     match (path, model) with
     | Some _, Some _ ->
@@ -725,7 +740,7 @@ let explore_run path model strategy_str seed no_deadlock gran max_execs
       try
         Icb.run ~config ~options ?checkpoint_out:checkpoint ~checkpoint_every
           ~checkpoint_meta:meta ?telemetry:rt.rt_telemetry ~domains:jobs
-          ~strategy prog
+          ~cache:(not no_cache) ~strategy prog
       with Invalid_argument msg ->
         Format.eprintf "%s@." msg;
         exit 2
@@ -769,7 +784,7 @@ let explore_cmd =
       $ no_deadlock_arg $ granularity_arg $ max_execs_arg $ timeout_arg
       $ checkpoint_arg $ checkpoint_every_arg $ jobs_arg $ progress_arg
       $ trace_arg $ metrics_arg $ metrics_every_arg $ quiet_arg
-      $ repro_dir_arg $ first_bug_arg)
+      $ repro_dir_arg $ first_bug_arg $ no_cache_arg)
 
 (* --- report ------------------------------------------------------------------- *)
 

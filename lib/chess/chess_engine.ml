@@ -166,6 +166,15 @@ end) : Icb_search.Engine.S with type state = state = struct
   let preemptions s = s.npre
   let schedule s = List.rev s.sched_rev
   let thread_count s = s.nthreads
+
+  (* No snapshot capability: a state's [live] run is a one-shot effects
+     continuation consumed by the first step taken from it, so a retained
+     copy cannot be re-stepped without replaying — which is exactly what
+     declining buys us: the search keeps the stateless replay discipline. *)
+  type snap = |
+
+  let snapshot = None
+  let restore (_ : snap) : state = assert false
 end
 
 let engine test =

@@ -27,18 +27,19 @@ let engine ?(config = Icb_search.Mach_engine.default_config) prog =
     with type state = Icb_search.Mach_engine.state)
 
 let run ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    ?resume_from ?telemetry ?domains ~strategy prog =
+    ?resume_from ?telemetry ?domains ?cache ?on_cache_stats ~strategy prog =
   (* the variable-bounding strategies consume the program's static
      shared-variable ranking; deriving it is cheap, so it rides along on
      every run and the other strategies simply ignore it *)
   Icb_search.Explore.run (engine ?config prog) ?options ?checkpoint_out
     ?checkpoint_every ?checkpoint_meta ?resume_from ?telemetry ?domains
+    ?cache ?on_cache_stats
     ~env:(Icb_search.Strategy.env_of_prog prog)
     strategy
 
 let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
     ?checkpoint_meta ?resume_from ?telemetry ?max_bound ?(cache = false)
-    ~domains prog =
+    ?replay_cache ?on_cache_stats ~domains prog =
   (* Each worker gets its own machine-engine instance, and machine states
      are persistent plain data any instance can step, so deferred work
      items carry their live states across the barrier instead of being
@@ -46,18 +47,19 @@ let run_parallel ?config ?options ?checkpoint_out ?checkpoint_every
   Icb_search.Parallel.run
     (fun _ -> engine ?config prog)
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?telemetry ~share_states:true ~domains ~max_bound ~cache ()
+    ?telemetry ~share_states:true ?replay_cache ?on_cache_stats ~domains
+    ~max_bound ~cache ()
 
 let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
-    ?telemetry ?domains prog ckpt =
+    ?telemetry ?domains ?cache prog ckpt =
   Icb_search.Explore.resume (engine ?config prog) ?options ?checkpoint_out
-    ?checkpoint_every ?checkpoint_meta ?telemetry ?domains
+    ?checkpoint_every ?checkpoint_meta ?telemetry ?domains ?cache
     ~env:(Icb_search.Strategy.env_of_prog prog)
     ckpt
 
-let check ?config ?options ?(max_bound = 3) ?telemetry ?domains prog =
+let check ?config ?options ?(max_bound = 3) ?telemetry ?domains ?cache prog =
   Icb_search.Explore.check (engine ?config prog) ?options ~max_bound
-    ?telemetry ?domains ()
+    ?telemetry ?domains ?cache ()
 
 let pp_bug fmt (b : bug) =
   Format.fprintf fmt

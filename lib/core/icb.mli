@@ -49,6 +49,8 @@ val run :
   ?resume_from:Icb_search.Checkpoint.t ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?cache:bool ->
+  ?on_cache_stats:(Icb_search.Replay_cache.stats -> unit) ->
   strategy:Icb_search.Explore.strategy ->
   prog ->
   result
@@ -59,6 +61,9 @@ val run :
     frontier shards ([Icb], the DFS family, [Random_walk], [Pct]) across
     OCaml domains; for ICB specifically, {!run_parallel} additionally
     shares engine states across workers instead of replaying prefixes.
+    [cache] (default [true]) is the prefix-snapshot replay cache
+    (docs/REPLAY_CACHE.md); [~cache:false] forces every schedule prefix to
+    replay from the initial state, with identical results.
     [telemetry] streams structured run events (and derived metrics) to
     that hub's sinks without changing what the search explores — see
     docs/OBSERVABILITY.md. *)
@@ -73,6 +78,8 @@ val run_parallel :
   ?telemetry:Icb_obs.Telemetry.t ->
   ?max_bound:int ->
   ?cache:bool ->
+  ?replay_cache:bool ->
+  ?on_cache_stats:(Icb_search.Replay_cache.stats -> unit) ->
   domains:int ->
   prog ->
   result
@@ -82,7 +89,10 @@ val run_parallel :
     result (bug set, per-bound execution counts, states, steps) matches a
     serial [run ~strategy:(Icb ...)] of the same program when
     [cache = false] (the default; see {!Icb_search.Parallel} for the
-    cached caveat).  Checkpoints written here are resumable both serially
+    cached caveat).  [cache] is the strategy's seen-state pruning cache;
+    [replay_cache] (default [true]) is the orthogonal prefix-snapshot
+    replay cache of docs/REPLAY_CACHE.md, which never changes what is
+    explored.  Checkpoints written here are resumable both serially
     ({!resume}) and in parallel ({!resume} with [~domains], or
     [run_parallel ~resume_from]). *)
 
@@ -94,6 +104,7 @@ val resume :
   ?checkpoint_meta:(string * string) list ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?cache:bool ->
   prog ->
   Icb_search.Checkpoint.t ->
   result
@@ -109,6 +120,7 @@ val check :
   ?max_bound:int ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?cache:bool ->
   prog ->
   bug option
 (** Iterative context bounding, stopping at the first bug.  The returned

@@ -71,55 +71,54 @@ let is_sched_point gran cls =
   | Instr.Class_data, Sync_only -> false
   | Instr.Class_local, _ -> false
 
-let eval_prim tid op args =
-  let int1 = function
-    | [ Value.Int a ] -> a
+(* Evaluates operands straight from the thread's registers — no
+   materialized argument-value list on this per-step path. *)
+let eval_prim tid (th : State.thread) op (args : Instr.operand list) =
+  let value1 () =
+    match args with
+    | [ a ] -> eval_operand th a
+    | _ -> invalid_arg "Interp: prim arity"
+  in
+  let value2 () =
+    match args with
+    | [ a; b ] -> (eval_operand th a, eval_operand th b)
+    | _ -> invalid_arg "Interp: prim arity"
+  in
+  let int1 () =
+    match value1 () with
+    | Value.Int a -> a
     | _ -> invalid_arg "Interp: prim arity/type"
   in
-  let int2 = function
-    | [ Value.Int a; Value.Int b ] -> (a, b)
+  let int2 () =
+    match value2 () with
+    | Value.Int a, Value.Int b -> (a, b)
     | _ -> invalid_arg "Interp: prim arity/type"
   in
   let bool_of_cmp c = Value.Bool c in
   match (op : Instr.prim) with
-  | Add -> let a, b = int2 args in Value.Int (a + b)
-  | Sub -> let a, b = int2 args in Value.Int (a - b)
-  | Mul -> let a, b = int2 args in Value.Int (a * b)
+  | Add -> let a, b = int2 () in Value.Int (a + b)
+  | Sub -> let a, b = int2 () in Value.Int (a - b)
+  | Mul -> let a, b = int2 () in Value.Int (a * b)
   | Div ->
-    let a, b = int2 args in
+    let a, b = int2 () in
     if b = 0 then raise (Model_error (Merr.Division_by_zero { tid }))
     else Value.Int (a / b)
   | Mod ->
-    let a, b = int2 args in
+    let a, b = int2 () in
     if b = 0 then raise (Model_error (Merr.Division_by_zero { tid }))
     else Value.Int (a mod b)
-  | Neg -> Value.Int (-int1 args)
-  | Min -> let a, b = int2 args in Value.Int (min a b)
-  | Max -> let a, b = int2 args in Value.Int (max a b)
-  | Eq -> (
-    match args with
-    | [ a; b ] -> bool_of_cmp (Value.equal a b)
-    | _ -> invalid_arg "Interp: prim arity")
-  | Ne -> (
-    match args with
-    | [ a; b ] -> bool_of_cmp (not (Value.equal a b))
-    | _ -> invalid_arg "Interp: prim arity")
-  | Lt -> let a, b = int2 args in bool_of_cmp (a < b)
-  | Le -> let a, b = int2 args in bool_of_cmp (a <= b)
-  | Gt -> let a, b = int2 args in bool_of_cmp (a > b)
-  | Ge -> let a, b = int2 args in bool_of_cmp (a >= b)
-  | And -> (
-    match args with
-    | [ a; b ] -> Value.Bool (Value.truthy a && Value.truthy b)
-    | _ -> invalid_arg "Interp: prim arity")
-  | Or -> (
-    match args with
-    | [ a; b ] -> Value.Bool (Value.truthy a || Value.truthy b)
-    | _ -> invalid_arg "Interp: prim arity")
-  | Not -> (
-    match args with
-    | [ a ] -> Value.Bool (not (Value.truthy a))
-    | _ -> invalid_arg "Interp: prim arity")
+  | Neg -> Value.Int (-int1 ())
+  | Min -> let a, b = int2 () in Value.Int (min a b)
+  | Max -> let a, b = int2 () in Value.Int (max a b)
+  | Eq -> let a, b = value2 () in bool_of_cmp (Value.equal a b)
+  | Ne -> let a, b = value2 () in bool_of_cmp (not (Value.equal a b))
+  | Lt -> let a, b = int2 () in bool_of_cmp (a < b)
+  | Le -> let a, b = int2 () in bool_of_cmp (a <= b)
+  | Gt -> let a, b = int2 () in bool_of_cmp (a > b)
+  | Ge -> let a, b = int2 () in bool_of_cmp (a >= b)
+  | And -> let a, b = value2 () in Value.Bool (Value.truthy a && Value.truthy b)
+  | Or -> let a, b = value2 () in Value.Bool (Value.truthy a || Value.truthy b)
+  | Not -> Value.Bool (not (Value.truthy (value1 ())))
 
 let resolve_objref (st : State.t) tid th ({ sid; sidx } : Instr.objref) =
   let idx = eval_int tid th sidx in
@@ -269,7 +268,7 @@ let rec exec_instr ctx tid =
         ctx.st <- State.thread_set { st with heap } tid (advance_pc th))
     | v -> invalid_arg ("Interp: free of non-handle " ^ Value.to_string v))
   | Prim { dst; op; args } ->
-    let v = eval_prim tid op (List.map (eval_operand th) args) in
+    let v = eval_prim tid th op args in
     ctx.st <- State.thread_set st tid (advance_pc (set_reg th dst v))
   | Mov { dst; src } ->
     ctx.st <- State.thread_set st tid (advance_pc (set_reg th dst (eval_operand th src)))
@@ -442,10 +441,48 @@ let enabled_raw (st : State.t) =
     done;
     !r
 
-let enabled st =
-  let raw = enabled_raw st in
-  let awake = List.filter (fun tid -> not (State.thread_get st tid).yielded) raw in
-  if awake = [] then raw else awake
+(* Per-domain scratch holding one enabledness byte per thread, so the
+   search hot path allocates exactly the list it returns: enabledness is
+   decided in one forward pass over the scratch (which also learns
+   whether any enabled thread is awake), then the list is built backward
+   without re-running [instr_enabled] or filtering a copy.  Domain-local,
+   so parallel workers never contend. *)
+let enabled_scratch : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Bytes.create 16))
+
+let enabled (st : State.t) =
+  match st.error with
+  | Some _ -> []
+  | None ->
+    let n = Array.length st.threads in
+    let cell = Domain.DLS.get enabled_scratch in
+    if Bytes.length !cell < n then cell := Bytes.create (max n (2 * Bytes.length !cell));
+    let bits = !cell in
+    let any = ref false in
+    let any_awake = ref false in
+    for tid = 0 to n - 1 do
+      let th = Array.unsafe_get st.threads tid in
+      let on = (not th.finished) && instr_enabled st th in
+      Bytes.unsafe_set bits tid (if on then '\001' else '\000');
+      if on then begin
+        any := true;
+        if not th.yielded then any_awake := true
+      end
+    done;
+    if not !any then []
+    else begin
+      (* yield flags hide a thread only while some awake thread remains:
+         a yielding thread cannot disable the whole program *)
+      let keep_yielded = not !any_awake in
+      let r = ref [] in
+      for tid = n - 1 downto 0 do
+        if
+          Bytes.unsafe_get bits tid = '\001'
+          && (keep_yielded || not (Array.unsafe_get st.threads tid).yielded)
+        then r := tid :: !r
+      done;
+      !r
+    end
 
 type status =
   | Running
@@ -453,21 +490,32 @@ type status =
   | Deadlock of int list
   | Error of Merr.t
 
+(* Existence check behind [status]: allocation-free, unlike building the
+   full enabled list just to test it for emptiness. *)
+let has_enabled (st : State.t) =
+  let n = Array.length st.threads in
+  let rec go tid =
+    tid < n
+    &&
+    let th = Array.unsafe_get st.threads tid in
+    ((not th.finished) && instr_enabled st th) || go (tid + 1)
+  in
+  go 0
+
 let status (st : State.t) =
   match st.error with
   | Some e -> Error e
-  | None -> (
-    match enabled_raw st with
-    | _ :: _ -> Running
-    | [] ->
-      if State.all_finished st then Terminated
-      else
-        let blocked = ref [] in
-        Array.iteri
-          (fun tid (th : State.thread) ->
-            if not th.finished then blocked := tid :: !blocked)
-          st.threads;
-        Deadlock (List.rev !blocked))
+  | None ->
+    if has_enabled st then Running
+    else if State.all_finished st then Terminated
+    else begin
+      let blocked = ref [] in
+      Array.iteri
+        (fun tid (th : State.thread) ->
+          if not th.finished then blocked := tid :: !blocked)
+        st.threads;
+      Deadlock (List.rev !blocked)
+    end
 
 let clear_yields (st : State.t) =
   if Array.exists (fun (th : State.thread) -> th.yielded) st.threads then

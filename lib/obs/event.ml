@@ -31,6 +31,15 @@ type t =
       steps : int;
       bugs : int;
     }
+  | Cache_stats of {
+      hits : int;           (** materializations served from a snapshot *)
+      misses : int;         (** materializations replayed from the root *)
+      steps_saved : int;    (** engine steps avoided via snapshots *)
+      steps_replayed : int; (** engine steps re-executed to rebuild prefixes *)
+    }
+      (** end-of-run totals of the prefix-snapshot replay cache, summed
+          over all workers; emitted only when the engine offers the
+          snapshot capability and caching is enabled *)
   | Run_finished of {
       executions : int;
       states : int;
@@ -64,6 +73,7 @@ let name = function
   | Bug_found _ -> "bug-found"
   | Checkpoint_written _ -> "checkpoint-written"
   | Worker_stats _ -> "worker-stats"
+  | Cache_stats _ -> "cache-stats"
   | Run_finished _ -> "run-finished"
   | Minimize_started _ -> "minimize-started"
   | Minimize_improved _ -> "minimize-improved"
@@ -110,6 +120,13 @@ let fields_of = function
       ("executions", Json.Int executions);
       ("steps", Json.Int steps);
       ("bugs", Json.Int bugs);
+    ]
+  | Cache_stats { hits; misses; steps_saved; steps_replayed } ->
+    [
+      ("hits", Json.Int hits);
+      ("misses", Json.Int misses);
+      ("steps_saved", Json.Int steps_saved);
+      ("steps_replayed", Json.Int steps_replayed);
     ]
   | Run_finished { executions; states; bugs; complete; stop_reason } ->
     [
@@ -204,6 +221,12 @@ let of_json j =
       let* steps = req "steps" (int "steps") in
       let* bugs = req "bugs" (int "bugs") in
       Ok (Worker_stats { stats_for; executions; steps; bugs })
+    | "cache-stats" ->
+      let* hits = req "hits" (int "hits") in
+      let* misses = req "misses" (int "misses") in
+      let* steps_saved = req "steps_saved" (int "steps_saved") in
+      let* steps_replayed = req "steps_replayed" (int "steps_replayed") in
+      Ok (Cache_stats { hits; misses; steps_saved; steps_replayed })
     | "run-finished" ->
       let* executions = req "executions" (int "executions") in
       let* states = req "states" (int "states") in

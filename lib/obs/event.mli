@@ -32,6 +32,16 @@ type t =
       steps : int;
       bugs : int;
     }  (** per-worker totals for one round, emitted at the barrier *)
+  | Cache_stats of {
+      hits : int;           (** materializations served from a snapshot *)
+      misses : int;         (** materializations replayed from the root *)
+      steps_saved : int;    (** engine steps avoided via snapshots *)
+      steps_replayed : int; (** engine steps re-executed to rebuild prefixes *)
+    }
+      (** end-of-run totals of the prefix-snapshot replay cache (see
+          docs/REPLAY_CACHE.md), summed over all workers; emitted only
+          when the engine offers the snapshot capability and caching is
+          enabled *)
   | Run_finished of {
       executions : int;
       states : int;

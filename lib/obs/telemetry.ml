@@ -115,6 +115,10 @@ let track_metrics t =
         ~buckets:[ 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2 ]
         "icb_step_seconds"
     in
+    let cache_hits = Metrics.counter m ~help:"Replay-cache materializations served from a snapshot" "icb_replay_cache_hits_total" in
+    let cache_misses = Metrics.counter m ~help:"Replay-cache materializations replayed from the root" "icb_replay_cache_misses_total" in
+    let cache_saved = Metrics.counter m ~help:"Engine steps avoided by the replay cache" "icb_replay_cache_steps_saved_total" in
+    let cache_replayed = Metrics.counter m ~help:"Engine steps re-executed to rebuild schedule prefixes" "icb_replay_cache_steps_replayed_total" in
     let seen_bugs = Hashtbl.create 8 in
     add_consumer t (fun { Event.ts; ev; _ } ->
         match ev with
@@ -138,6 +142,11 @@ let track_metrics t =
           Metrics.set bound (float_of_int b.bound);
           Metrics.set frontier (float_of_int b.items)
         | Event.Checkpoint_written _ -> Metrics.inc checkpoints 1.0
+        | Event.Cache_stats c ->
+          Metrics.inc cache_hits (float_of_int c.hits);
+          Metrics.inc cache_misses (float_of_int c.misses);
+          Metrics.inc cache_saved (float_of_int c.steps_saved);
+          Metrics.inc cache_replayed (float_of_int c.steps_replayed)
         | Event.Run_started _ | Event.Item_started _ | Event.Worker_stats _
         | Event.Run_finished _ | Event.Minimize_started _
         | Event.Minimize_improved _ | Event.Minimize_finished _ -> ())

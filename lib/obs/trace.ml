@@ -95,7 +95,7 @@ let summarize events =
         stop_reason := r.stop_reason;
         states := Some r.states
       | Event.Bound_started _ | Event.Item_started _ | Event.Item_finished _
-      | Event.Worker_stats _ | Event.Minimize_started _
+      | Event.Worker_stats _ | Event.Cache_stats _ | Event.Minimize_started _
       | Event.Minimize_improved _ | Event.Minimize_finished _ -> ())
     events;
   let bounds =

@@ -215,25 +215,29 @@ let strip_items its = List.map Strategy.prefix_of its
 
 let run_serial (type s) (module E : Engine.S with type state = s)
     (module S : Strategy.S with type state = s) ~stamp ~note_round_done ~emit
-    master (ckpt : Search_core.ckpt_ctl option) resume_v3 =
+    ~(rp : s Search_core.replayer) ~retain master
+    (ckpt : Search_core.ckpt_ctl option) resume_v3 =
   let w = S.wstate () in
   let wstates = [| w |] in
   (* Strict replay: a prefix that no longer replays means the checkpoint
      belongs to a different (or nondeterministic) program — surface it,
-     don't guess. *)
+     don't guess.  (Prefixes generated by this very run always replay on a
+     deterministic engine: they only contain steps that already succeeded
+     once.) *)
   let materialize it =
-    match it.Strategy.i_state with
-    | Some st -> Some st
-    | None -> (
-      try Some (List.fold_left E.step (E.initial ()) it.Strategy.i_sched)
-      with exn ->
-        invalid_arg
-          (Printf.sprintf
-             "Explore.resume: a checkpointed schedule no longer replays \
-              (%s); the checkpoint belongs to a different or \
-              nondeterministic program"
-             (Printexc.to_string exn)))
+    match rp.Search_core.rp_run it with
+    | Ok st -> Some st
+    | Error (_, _, exn) ->
+      invalid_arg
+        (Printf.sprintf
+           "Explore.resume: a checkpointed schedule no longer replays \
+            (%s); the checkpoint belongs to a different or \
+            nondeterministic program"
+           (Printexc.to_string exn))
   in
+  (* [--no-cache]: drop the snapshot slot at every hand-off, restoring the
+     pure stateless discipline — every item pays the full prefix replay. *)
+  let keep it = if retain then it else { it with Strategy.i_state = None } in
   (* Under the [`Rank] discipline an item's priority needs its state;
      materialize before insertion. *)
   let prep it =
@@ -253,10 +257,10 @@ let run_serial (type s) (module E : Engine.S with type state = s)
   let ctx =
     {
       Strategy.c_col = master;
-      c_push = (fun it -> sq.sq_push (prep it));
+      c_push = (fun it -> sq.sq_push (prep (keep it)));
       c_defer =
         (fun it ->
-          deferred := it :: !deferred;
+          deferred := keep it :: !deferred;
           incr defer_len);
       c_materialize = materialize;
     }
@@ -338,7 +342,7 @@ let run_serial (type s) (module E : Engine.S with type state = s)
       Icb_obs.Emit.emit emit
         (Icb_obs.Event.Bound_started
            { bound = S.round (); items = List.length items });
-    sq.sq_seed (List.map prep items);
+    sq.sq_seed (List.map (fun it -> prep (keep it)) items);
     drain ();
     let d = List.rev !deferred in
     deferred := [];
@@ -364,8 +368,13 @@ let run_serial (type s) (module E : Engine.S with type state = s)
        deepening with truncations pending, a sealed bound owing its
        `Bounded verdict).  [after_round] re-derives the verdict from
        the restored params, so a genuinely finished checkpoint still
-       concludes immediately. *)
-    rounds (List.map of_prefix work)
+       concludes immediately.
+
+       The batched-replay round: restored items carry no states, so sort
+       them — lexicographic order groups the frontier by longest common
+       prefix, and consecutive materializations hit the snapshot cache.
+       The round's result is a multiset, insensitive to this order. *)
+    rounds (sorted_items (List.map of_prefix work))
   | None ->
     let items = S.roots (module E) w master in
     if items = [] then
@@ -376,10 +385,10 @@ let run_serial (type s) (module E : Engine.S with type state = s)
 (* --- parallel execution -------------------------------------------------- *)
 
 let run_parallel (type s)
-    (engines : int -> (module Engine.S with type state = s))
+    (engs : (module Engine.S with type state = s) array)
     (module S : Strategy.S with type state = s) ~stamp ~note_round_done ~tel
     ~emit ~options master (ckpt : Search_core.ckpt_ctl option) resume_v3
-    ~share_states ~domains =
+    ~(rps : s Search_core.replayer array) ~retain ~domains =
   (* Local collectors carry no limits and never raise [Collector.Stop]:
      stopping is decided globally by the progress hook below and honoured
      by workers at item boundaries.  Semantic options (deadlock_is_error,
@@ -398,9 +407,6 @@ let run_parallel (type s)
       events = Icb_obs.Emit.null;
     }
   in
-  (* Engine instances are created sequentially here, before any domain
-     exists, and each is thereafter used by a single worker at a time. *)
-  let engs = Array.init domains engines in
   let deques : s Strategy.item Dq.t array =
     Array.init domains (fun _ -> Dq.create ())
   in
@@ -570,25 +576,19 @@ let run_parallel (type s)
     let next = !cur_nexts.(i) in
     let w = wstates.(i) in
     let rng = rngs.(i) in
-    (* Replays never touch the collector: the prefix's states were
-       already counted by whoever deferred or checkpointed this item.  A
-       prefix that no longer replays means the program is
-       nondeterministic (or the checkpoint is foreign); contain it as a
-       replayable bug, like any other engine crash. *)
+    (* Materialization goes through the worker's replayer (snapshot cache
+       when the engine offers it, from-the-root replay otherwise) and
+       never touches the collector: the prefix's states were already
+       counted by whoever deferred or checkpointed this item.  A prefix
+       that no longer replays means the program is nondeterministic (or
+       the checkpoint is foreign); contain it as a replayable bug, like
+       any other engine crash. *)
     let materialize it =
-      match it.Strategy.i_state with
-      | Some st -> Some st
-      | None ->
-        let rec go st = function
-          | [] -> Some st
-          | t :: rest -> (
-            match E.step st t with
-            | st' -> go st' rest
-            | exception exn ->
-              Search_core.record_crash (module E) lcol st t exn;
-              None)
-        in
-        go (E.initial ()) it.Strategy.i_sched
+      match rps.(i).Search_core.rp_run it with
+      | Ok st -> Some st
+      | Error (st, t, exn) ->
+        Search_core.record_crash (module E) lcol st t exn;
+        None
     in
     let ctx =
       {
@@ -600,7 +600,7 @@ let run_parallel (type s)
         c_defer =
           (fun it ->
             next :=
-              (if share_states then it
+              (if retain then it
                else { it with Strategy.i_state = None })
               :: !next);
         c_materialize = materialize;
@@ -622,7 +622,7 @@ let run_parallel (type s)
                 match Dq.steal deques.(j) with
                 | Some it ->
                   Some
-                    (if share_states then it
+                    (if retain then it
                      else { it with Strategy.i_state = None })
                 | None -> go (k + 1)
           in
@@ -683,11 +683,20 @@ let run_parallel (type s)
     Array.iter Dq.clear deques;
     let work = sorted_items work in
     let work =
-      if share_states then work
+      if retain then work
       else List.map (fun it -> { it with Strategy.i_state = None }) work
     in
-    List.iteri (fun k it -> Dq.push_back deques.(k mod domains) it) work;
+    (* Batched replay: the sort above is lexicographic on schedules, i.e.
+       the round is grouped by longest common prefix.  Shard it in
+       contiguous chunks (not round-robin) so each worker's run of items
+       shares prefixes and consecutive materializations hit its snapshot
+       cache; the barrier merge is independent of the assignment, and the
+       assignment itself stays deterministic. *)
     let n_work = List.length work in
+    let chunk = max 1 ((n_work + domains - 1) / domains) in
+    List.iteri
+      (fun k it -> Dq.push_back deques.(min (domains - 1) (k / chunk)) it)
+      work;
     Collector.note_frontier master n_work;
     if Icb_obs.Emit.enabled emit then
       Icb_obs.Emit.emit emit
@@ -803,7 +812,8 @@ let default_checkpoint_every = Search_core.default_checkpoint_every
 let run (type s) (engines : int -> (module Engine.S with type state = s))
     ?(options = Collector.default_options) ?checkpoint_out
     ?(checkpoint_every = default_checkpoint_every) ?(checkpoint_meta = [])
-    ?resume_from ?telemetry ?(share_states = false) ~domains
+    ?resume_from ?telemetry ?(share_states = false) ?(replay_cache = true)
+    ?on_cache_stats ~domains
     (module S : Strategy.S with type state = s) : Sresult.t =
   if domains < 1 then invalid_arg "Driver.run: domains must be at least 1";
   if domains > 1 && not S.shardable then
@@ -832,10 +842,32 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
     if Icb_obs.Emit.enabled emit then { options with Collector.events = emit }
     else options
   in
+  (* Engine instances are created sequentially here, before any domain
+     exists, and each is thereafter used by a single worker at a time. *)
+  let engs = Array.init domains engines in
+  let has_snap =
+    let (module E0 : Engine.S with type state = s) = engs.(0) in
+    Option.is_some E0.snapshot
+  in
+  (* Replay-cache policy.  Serial mode retains the snapshot slot on every
+     hand-off exactly as before (for any engine — the stateless engine's
+     states hand their live run forward); parallel mode additionally
+     shares states across domains whenever the engine certifies them as
+     restorable snapshots (or the caller opted in explicitly).
+     [replay_cache = false] is the debugging escape hatch: drop every
+     snapshot, disable the per-worker caches, replay everything. *)
+  let retain =
+    replay_cache && (domains = 1 || share_states || has_snap)
+  in
+  let rps =
+    Array.map
+      (fun e -> Search_core.replayer e ~cache:replay_cache ())
+      engs
+  in
   let fp =
     (* only needed when a checkpoint is read or written *)
     if checkpoint_out <> None || resume_from <> None then
-      fingerprint (engines 0)
+      fingerprint engs.(0)
     else ""
   in
   let resume_v3 =
@@ -928,12 +960,26 @@ let run (type s) (engines : int -> (module Engine.S with type state = s))
          { strategy = S.name; domains; resumed = resume_from <> None });
   (try
      if domains = 1 then
-       run_serial (engines 0) (module S) ~stamp ~note_round_done ~emit master
-         ckpt resume_v3
+       run_serial engs.(0) (module S) ~stamp ~note_round_done ~emit
+         ~rp:rps.(0) ~retain master ckpt resume_v3
      else
-       run_parallel engines (module S) ~stamp ~note_round_done ~tel:telemetry
-         ~emit ~options master ckpt resume_v3 ~share_states ~domains
+       run_parallel engs (module S) ~stamp ~note_round_done ~tel:telemetry
+         ~emit ~options master ckpt resume_v3 ~rps ~retain ~domains
    with Collector.Stop -> ());
+  let cstats = Replay_cache.zero () in
+  Array.iter
+    (fun rp -> Replay_cache.accum ~into:cstats rp.Search_core.rp_stats)
+    rps;
+  (match on_cache_stats with None -> () | Some f -> f cstats);
+  if Icb_obs.Emit.enabled emit && replay_cache && has_snap then
+    Icb_obs.Emit.emit emit
+      (Icb_obs.Event.Cache_stats
+         {
+           hits = cstats.Replay_cache.hits;
+           misses = cstats.Replay_cache.misses;
+           steps_saved = cstats.Replay_cache.steps_saved;
+           steps_replayed = cstats.Replay_cache.steps_replayed;
+         });
   let res = Collector.result master ~strategy:S.name in
   if Icb_obs.Emit.enabled emit then
     Icb_obs.Emit.emit emit

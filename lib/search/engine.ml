@@ -114,6 +114,22 @@ module type S = sig
       from this state, computed by speculative execution; used by the
       partial-order-reducing strategies.  Persistent-state engines compute
       this cheaply; the stateless engine pays a replay. *)
+
+  type snap
+  (** An engine-defined snapshot of a [state], cheap to retain and valid to
+      [restore] any number of times.  For persistent-state engines the
+      snapshot {e is} the state; engines whose states carry one-shot
+      resources (a live effects run) cannot offer this. *)
+
+  val snapshot : (state -> snap) option
+  (** [Some capture] when the engine supports prefix-snapshot caching:
+      [restore (capture st)] must behave exactly like [st] under every
+      operation of this signature, arbitrarily many times.  [None] declines
+      the capability — the search then rebuilds states by replaying
+      schedule prefixes from [initial] (the CHESS stateless discipline). *)
+
+  val restore : snap -> state
+  (** Rehydrate a snapshot.  Never called when [snapshot] is [None]. *)
 end
 
 (** Shared preemption-accounting rule (paper, Appendix A): the switch to

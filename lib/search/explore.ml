@@ -74,11 +74,11 @@ let default_checkpoint_every = Search_core.default_checkpoint_every
    domain-bound state internals still work. *)
 let run (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?telemetry ?(domains = 1) ?env strategy =
+    ?telemetry ?(domains = 1) ?env ?cache ?on_cache_stats strategy =
   Driver.run
     (fun _ -> (module E : Engine.S with type state = s))
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?telemetry ~domains
+    ?telemetry ?replay_cache:cache ?on_cache_stats ~domains
     (instantiate ?env (module E) strategy)
 
 let strategy_of_checkpoint (c : Checkpoint.t) =
@@ -139,21 +139,22 @@ let strategy_of_checkpoint (c : Checkpoint.t) =
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?telemetry ?domains
-    ?env (c : Checkpoint.t) =
+    ?env ?cache (c : Checkpoint.t) =
   let checkpoint_meta =
     match checkpoint_meta with Some m -> m | None -> c.meta
   in
   run
     (module E)
     ?options ?checkpoint_out ?checkpoint_every ~checkpoint_meta
-    ~resume_from:c ?telemetry ?domains ?env
+    ~resume_from:c ?telemetry ?domains ?env ?cache
     (strategy_of_checkpoint c)
 
 let check (type s) (module E : Engine.S with type state = s)
-    ?(options = Collector.default_options) ?max_bound ?telemetry ?domains () =
+    ?(options = Collector.default_options) ?max_bound ?telemetry ?domains
+    ?cache () =
   let options = { options with Collector.stop_at_first_bug = true } in
   let r =
-    run (module E) ~options ?telemetry ?domains
+    run (module E) ~options ?telemetry ?domains ?cache
       (Icb { max_bound; cache = false })
   in
   match r.Sresult.bugs with

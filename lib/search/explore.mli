@@ -84,6 +84,8 @@ val run :
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   ?env:Strategy.env ->
+  ?cache:bool ->
+  ?on_cache_stats:(Replay_cache.stats -> unit) ->
   strategy ->
   Sresult.t
 (** Explore the engine's transition system with the given strategy.
@@ -95,9 +97,11 @@ val run :
     [complete = false] and a [stop_reason].
 
     [domains] (default 1) shards the search across that many OCaml
-    domains via {!Driver.run}, sharing this engine module across workers
-    (states never cross domains on this path; each worker replays
-    schedule prefixes on its own states).  The result is deterministic
+    domains via {!Driver.run}, sharing this engine module across workers.
+    States cross domains only when the engine certifies them as
+    restorable snapshots ({!Engine.S.snapshot}, e.g. the persistent
+    machine engine); otherwise each worker replays schedule prefixes on
+    its own states.  The result is deterministic
     and matches the serial search — see docs/PARALLEL.md for the exact
     guarantees and the [cache] caveat.  Every strategy whose frontier
     shards accepts [domains > 1]: {!Icb}, the DFS family, {!Random_walk},
@@ -114,7 +118,19 @@ val run :
     {!resume} to derive it).  Raises [Invalid_argument] if the strategy
     does not match or does not support checkpointing, or if the
     checkpointed frontier no longer replays on this engine (wrong or
-    nondeterministic program). *)
+    nondeterministic program).
+
+    [cache] (default [true]) enables the prefix-snapshot replay cache
+    (docs/REPLAY_CACHE.md): engines with the {!Engine.S.snapshot}
+    capability memoize the state reached at every replayed prefix, states
+    ride along on work items across rounds and domains, and
+    materializing an item costs only the steps past its longest cached
+    ancestor.  [~cache:false] restores the pure stateless discipline —
+    every item replays its full prefix from the initial state — which is
+    the one-flag way to check a suspected cache divergence; bug sets,
+    execution counts and checkpoints are identical either way.
+    [on_cache_stats] receives the run's replay accounting (hits, misses,
+    steps saved/replayed, summed over workers) in both modes. *)
 
 val resume :
   (module Engine.S with type state = 's) ->
@@ -125,6 +141,7 @@ val resume :
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
   ?env:Strategy.env ->
+  ?cache:bool ->
   Checkpoint.t ->
   Sresult.t
 (** Continue a checkpointed search: derives the strategy from the
@@ -141,6 +158,7 @@ val check :
   ?max_bound:int ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?domains:int ->
+  ?cache:bool ->
   unit ->
   Sresult.bug option
 (** Convenience one-call checker: ICB with [stop_at_first_bug]; returns the

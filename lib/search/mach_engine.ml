@@ -162,4 +162,13 @@ end) : Engine.S with type state = state = struct
       || (match status s' with Engine.Running -> false | _ -> true)
     in
     Engine.Footprint.of_events ~pinned s'.last_events
+
+  (* Every component of [state] is persistent (copy-on-write [State.t],
+     immutable detector and happens-before values), so a snapshot is the
+     state itself: retaining and restoring it any number of times is
+     free and exact. *)
+  type snap = state
+
+  let snapshot = Some (fun (s : state) -> s)
+  let restore (s : snap) = s
 end

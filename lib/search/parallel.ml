@@ -8,8 +8,10 @@
 
 let run (type s) (engines : int -> (module Engine.S with type state = s))
     ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?resume_from
-    ?telemetry ?share_states ~domains ~max_bound ~cache () : Sresult.t =
+    ?telemetry ?share_states ?replay_cache ?on_cache_stats ~domains ~max_bound
+    ~cache () : Sresult.t =
   let (module E0 : Engine.S with type state = s) = engines 0 in
   Driver.run engines ?options ?checkpoint_out ?checkpoint_every
-    ?checkpoint_meta ?resume_from ?telemetry ?share_states ~domains
+    ?checkpoint_meta ?resume_from ?telemetry ?share_states ?replay_cache
+    ?on_cache_stats ~domains
     (Strategies.icb (module E0) ~max_bound ~cache)

@@ -55,6 +55,8 @@ val run :
   ?resume_from:Checkpoint.t ->
   ?telemetry:Icb_obs.Telemetry.t ->
   ?share_states:bool ->
+  ?replay_cache:bool ->
+  ?on_cache_stats:(Replay_cache.stats -> unit) ->
   domains:int ->
   max_bound:int option ->
   cache:bool ->
@@ -72,7 +74,19 @@ val run :
     prefix replay.  Enable it only when states are plain data that any
     instance can step (the machine engine); engines whose states own
     single-domain resources — the CHESS engine's states hold a live
-    run — must leave it off and pay the replay.
+    run — must leave it off and pay the replay.  Engines advertising the
+    {!Engine.S.snapshot} capability get this automatically whenever
+    [replay_cache] is on.
+
+    [replay_cache] (default [true]) enables the prefix-snapshot replay
+    cache (docs/REPLAY_CACHE.md) for snapshot-capable engines: states
+    ride along on work items and each worker keeps a bounded LRU of
+    prefix snapshots, so materializing an item costs only the steps past
+    its longest cached ancestor.  [~replay_cache:false] restores the pure
+    stateless discipline (every prefix replays from the initial state,
+    overriding [share_states]); the explored executions, bug set and
+    checkpoints are identical either way.  [on_cache_stats] receives the
+    run's replay accounting (summed over workers) in both modes.
 
     Raises [Invalid_argument] if [domains < 1] or [resume_from] holds a
     checkpoint written by a non-ICB strategy (resume those through

@@ -1,0 +1,84 @@
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable steps_saved : int;
+  mutable steps_replayed : int;
+}
+
+let zero () = { hits = 0; misses = 0; steps_saved = 0; steps_replayed = 0 }
+
+let accum ~into s =
+  into.hits <- into.hits + s.hits;
+  into.misses <- into.misses + s.misses;
+  into.steps_saved <- into.steps_saved + s.steps_saved;
+  into.steps_replayed <- into.steps_replayed + s.steps_replayed
+
+(* An entry remembers the exact (reversed) prefix it snapshots, so a
+   lookup that matches by hash is verified element-wise before the
+   snapshot is trusted: collisions degrade to misses. *)
+type 'v entry = { e_rev : int list; e_snap : 'v }
+
+type 'v t = { lru : (int * int64, 'v entry) Icb_util.Lru.t }
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  { lru = Icb_util.Lru.create ~capacity }
+
+let length t = Icb_util.Lru.length t.lru
+let clear t = Icb_util.Lru.clear t.lru
+
+let replay (type v a) (t : v t) ~stats ~sched ~(init : unit -> a)
+    ~(step : a -> int -> a) ~(capture : a -> v) ~(restore : v -> a) :
+    (a, a * int * exn) result =
+  match sched with
+  | [] -> Ok (init ())
+  | _ ->
+    (* Rolling FNV-1a hash and reversed prefix for every cut point; the
+       reversed prefixes share structure, so this is O(n) allocation. *)
+    let n = List.length sched in
+    let hashes = Array.make (n + 1) Icb_util.Fnv.basis in
+    let revs = Array.make (n + 1) [] in
+    List.iteri
+      (fun i tid ->
+        hashes.(i + 1) <- Icb_util.Fnv.int hashes.(i) tid;
+        revs.(i + 1) <- tid :: revs.(i))
+      sched;
+    (* Longest verified cached prefix, probing longest first. *)
+    let rec probe k =
+      if k <= 0 then None
+      else
+        match Icb_util.Lru.find t.lru (k, hashes.(k)) with
+        | Some e when e.e_rev = revs.(k) -> Some (k, e)
+        | Some _ | None -> probe (k - 1)
+    in
+    let base, st0 =
+      match probe n with
+      | Some (k, e) ->
+        stats.hits <- stats.hits + 1;
+        stats.steps_saved <- stats.steps_saved + k;
+        (k, restore e.e_snap)
+      | None ->
+        stats.misses <- stats.misses + 1;
+        (0, init ())
+    in
+    (* Replay the suffix, snapshotting after every new step so the next
+       item sharing this prefix resumes further along. *)
+    let rec go st k rest =
+      match rest with
+      | [] -> Ok st
+      | tid :: rest -> (
+        match step st tid with
+        | st' ->
+          stats.steps_replayed <- stats.steps_replayed + 1;
+          let k = k + 1 in
+          Icb_util.Lru.add t.lru (k, hashes.(k))
+            { e_rev = revs.(k); e_snap = capture st' };
+          go st' k rest
+        | exception exn -> Error (st, tid, exn))
+    in
+    let rec drop n l =
+      if n <= 0 then l
+      else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+    in
+    go st0 base (drop base sched)

@@ -117,6 +117,68 @@ let icb_item (type s) (module E : Engine.S with type state = s) col ~seen
   in
   search (st0, tid0)
 
+(* --- cache-aware prefix materialization ---------------------------------- *)
+
+(* One per worker: turns a work item back into an engine state.  The
+   retained state slot ([i_state]) always wins; a stateless item is
+   rebuilt either through the per-worker prefix-snapshot cache (engines
+   with the snapshot capability, cache enabled) or by the classic
+   from-the-root replay.  Both paths share one [Replay_cache.stats]
+   record, so cached and uncached runs report comparable step counts.
+
+   Replays never touch the collector: the prefix's states were already
+   counted by whoever deferred or checkpointed the item.  [Error
+   (st, tid, exn)] surfaces a step that raised, for the caller to either
+   contain (parallel workers) or reject (serial resume). *)
+type 's replayer = {
+  rp_run : 's Strategy.item -> ('s, 's * int * exn) result;
+  rp_stats : Replay_cache.stats;
+}
+
+let replayer (type s) ((module E) : (module Engine.S with type state = s))
+    ?(cache = true) ?(capacity = Replay_cache.default_capacity) () :
+    s replayer =
+  let stats = Replay_cache.zero () in
+  let plain sched =
+    (match sched with
+    | [] -> ()
+    | _ :: _ -> stats.Replay_cache.misses <- stats.Replay_cache.misses + 1);
+    let rec go st = function
+      | [] -> Ok st
+      | t :: rest -> (
+        match E.step st t with
+        | st' ->
+          stats.Replay_cache.steps_replayed <-
+            stats.Replay_cache.steps_replayed + 1;
+          go st' rest
+        | exception exn -> Error (st, t, exn))
+    in
+    go (E.initial ()) sched
+  in
+  let rebuild =
+    match (if cache then E.snapshot else None) with
+    | None -> plain
+    | Some capture ->
+      let rc : E.snap Replay_cache.t = Replay_cache.create ~capacity () in
+      fun sched ->
+        Replay_cache.replay rc ~stats ~sched ~init:E.initial ~step:E.step
+          ~capture ~restore:E.restore
+  in
+  let run it =
+    match it.Strategy.i_state with
+    | Some st ->
+      (* the snapshot slot taken at the item's fork point *)
+      (match it.Strategy.i_sched with
+      | [] -> ()
+      | sched ->
+        stats.Replay_cache.hits <- stats.Replay_cache.hits + 1;
+        stats.Replay_cache.steps_saved <-
+          stats.Replay_cache.steps_saved + List.length sched);
+      Ok st
+    | None -> rebuild it.Strategy.i_sched
+  in
+  { rp_run = run; rp_stats = stats }
+
 let icb_strategy_name ~max_bound =
   match max_bound with
   | None -> "icb"

@@ -1,0 +1,23 @@
+(** A bounded least-recently-used map.
+
+    Plain single-owner mutable structure: the search driver keeps one per
+    worker, so no locking.  [find] refreshes recency; [add] inserts or
+    replaces and evicts the least recently used binding when the capacity
+    is exceeded. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity] must be at least 1. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the binding most recently used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; the new binding is most recently used.  Evicts the
+    least recently used binding when the map is over capacity. *)
+
+val clear : ('k, 'v) t -> unit

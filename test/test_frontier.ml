@@ -57,6 +57,13 @@ let recording_engine prog tape :
     let thread_count (s, _) = Base.thread_count s
     let step_footprint (s, _) t = Base.step_footprint s t
 
+    (* the pair is as persistent as the underlying machine state, so the
+       wrapper keeps the snapshot capability *)
+    type snap = state
+
+    let snapshot = Some (fun (s : state) -> s)
+    let restore (s : snap) = s
+
     let step (s, sched) t =
       let s' = Base.step s t in
       let sched' = t :: sched in
