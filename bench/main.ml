@@ -1305,6 +1305,95 @@ let replay_cache_bench () =
       "wall-clock assertion skipped: %d core(s) available (needs >= 4)\n" cores;
   if !failed then exit 1 else print_endline "replay cache: OK"
 
+(* ------------------------------------------------------------------------- *)
+(* Distributed: loopback coordinator + socket workers vs the serial driver   *)
+(* ------------------------------------------------------------------------- *)
+
+(* Runs the buggy work-stealing queue to preemption bound 3 serially,
+   then through the coordinator with 1 and with 2 worker threads over
+   loopback sockets, asserting the distributed contract: identical bug
+   sets, per-bound cumulative execution counts and totals.  The workers
+   here are OS threads sharing this process's runtime lock, so the
+   execs/sec column measures protocol and merge overhead, not
+   parallelism — real speedup needs worker processes on separate
+   machines (docs/DISTRIBUTED.md). *)
+let distributed_bench () =
+  section "Distributed ICB: serial vs loopback coordinator/workers";
+  let entry = Registry.find "Work Stealing Queue" in
+  let bug_spec = List.hd entry.bugs in
+  let strategy = Explore.Icb { max_bound = Some 3; cache = false } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dist workers =
+    let p = bug_spec.bug_program () in
+    let coord = Icb.Dist.Coord.create ~batch_size:16 () in
+    let port = Icb.Dist.Coord.port coord in
+    let ws =
+      List.init workers (fun _ ->
+          Thread.create
+            (fun () ->
+              ignore
+                (Icb.Dist.Worker.run ~host:"127.0.0.1" ~port
+                   ~resolve:(fun _ ->
+                     Ok (Icb.Dist.Worker.Packed (Icb.engine p)))
+                   ()))
+            ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter Thread.join ws;
+        Icb.Dist.Coord.shutdown coord)
+      (fun () ->
+        Icb.Dist.Coord.run coord (Icb.engine p)
+          ~env:(Icb_search.Strategy.env_of_prog p)
+          strategy)
+  in
+  let serial, t_serial = time (fun () -> Icb.run ~strategy (bug_spec.bug_program ())) in
+  let one, t_one = time (fun () -> dist 1) in
+  let two, t_two = time (fun () -> dist 2) in
+  let rate (r : Sresult.t) t = float_of_int r.executions /. max t 1e-9 in
+  let keys (r : Sresult.t) =
+    List.sort compare (List.map (fun (b : Sresult.bug) -> b.Sresult.key) r.bugs)
+  in
+  let bexec (r : Sresult.t) = Array.to_list r.bound_executions in
+  print_table
+    [ "Run"; "Executions"; "States"; "Bugs"; "Seconds"; "Execs/sec" ]
+    (List.map
+       (fun (name, (r : Sresult.t), t) ->
+         [
+           name;
+           string_of_int r.executions;
+           string_of_int r.distinct_states;
+           string_of_int (List.length r.bugs);
+           Printf.sprintf "%.2f" t;
+           Printf.sprintf "%.0f" (rate r t);
+         ])
+       [
+         ("serial", serial, t_serial);
+         ("1 worker", one, t_one);
+         ("2 workers", two, t_two);
+       ]);
+  let failed = ref false in
+  let check what ok =
+    if not ok then begin
+      failed := true;
+      Printf.printf "FAILED: %s\n" what
+    end
+  in
+  check "bug sets identical (serial, 1 worker, 2 workers)"
+    (keys serial = keys one && keys one = keys two);
+  check "per-bound cumulative execution counts identical"
+    (bexec serial = bexec one && bexec one = bexec two);
+  check "execution and state totals identical"
+    (serial.executions = one.executions
+    && one.executions = two.executions
+    && serial.distinct_states = one.distinct_states
+    && one.distinct_states = two.distinct_states);
+  if !failed then exit 1 else print_endline "distributed equivalence: OK"
+
 let experiments =
   [
     ("table1", table1);
@@ -1326,6 +1415,7 @@ let experiments =
     ("repro", repro_bench);
     ("bounds", bounds_bench);
     ("replay_cache", replay_cache_bench);
+    ("distributed", distributed_bench);
   ]
 
 let () =

@@ -12,6 +12,8 @@
    icb repro run BUNDLE      -- replay a bundle and print the bug report
    icb repro verify BUNDLE   -- replay a bundle, check the recorded outcome
    icb triage DIR            -- cluster a directory of repro bundles
+   icb serve FILE            -- coordinate a distributed search over TCP
+   icb worker HOST:PORT      -- run leased work batches for a coordinator
 
    check, check-model, resume and explore take --jobs N to shard the
    search across N OCaml domains; every strategy whose frontier shards
@@ -21,7 +23,9 @@
    (docs/OBSERVABILITY.md), and --repro-dir DIR to drop one repro bundle
    per deduplicated bug (docs/REPRO.md).  --no-cache disables the
    prefix-snapshot replay cache (docs/REPLAY_CACHE.md) without changing
-   what is explored.
+   what is explored.  serve/worker stretch the same sharded search over
+   processes and machines, with the coordinator also answering GET
+   /metrics and GET /status on its port (docs/DISTRIBUTED.md).
 
    Exit codes: 0 ok / no bug, 1 bug found (or triage found new bugs
    against a --known baseline), 2 usage or input error, 3 interrupted
@@ -786,6 +790,329 @@ let explore_cmd =
       $ trace_arg $ metrics_arg $ metrics_every_arg $ quiet_arg
       $ repro_dir_arg $ first_bug_arg $ no_cache_arg)
 
+(* --- serve / worker (distributed search) -------------------------------------- *)
+
+let host_arg =
+  let doc = "Interface to listen on (an IP or resolvable name)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port to listen on (default 0 = ephemeral; the bound port \
+             is printed at startup)." in
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let lease_timeout_arg =
+  let doc =
+    "Seconds a leased batch may stay unreported before it is re-issued to \
+     another worker (default 30)."
+  in
+  Arg.(value & opt float 30.0 & info [ "lease-timeout" ] ~docv:"SECS" ~doc)
+
+let batch_size_arg =
+  let doc = "Maximum work items per leased batch (default 32)." in
+  Arg.(value & opt int 32 & info [ "batch-size" ] ~docv:"N" ~doc)
+
+let serve_resume_arg =
+  let doc =
+    "Resume a checkpoint written by a previous $(b,icb serve --checkpoint) \
+     (or $(b,icb explore --checkpoint)) instead of starting fresh; FILE / \
+     $(b,--model) / $(b,--strategy) are then taken from the checkpoint."
+  in
+  Arg.(
+    value & opt (some file) None & info [ "resume" ] ~docv:"CHECKPOINT" ~doc)
+
+let serve_run path model strategy_str seed no_deadlock gran max_execs timeout
+    checkpoint checkpoint_every resume host port lease_timeout batch_size
+    trace metrics metrics_every quiet first_bug no_cache =
+  validate_checkpoint_path checkpoint;
+  validate_out_path "the event trace" trace;
+  validate_out_path "metrics" metrics;
+  let telemetry = Obs.Telemetry.create () in
+  Option.iter (Obs.Telemetry.add_trace telemetry) trace;
+  Option.iter
+    (Obs.Telemetry.add_metrics_dump telemetry ~every:metrics_every)
+    metrics;
+  (* Everything a worker needs to rebuild the engine travels in the
+     checkpoint meta (= the job's provenance): kind/target like every
+     checkpoint, plus granularity.  mode=explore keeps the file readable
+     by plain `icb resume` too. *)
+  let fresh () =
+    let kind, target, prog =
+      match (path, model) with
+      | Some _, Some _ ->
+        Format.eprintf "FILE and --model are mutually exclusive@.";
+        exit 2
+      | None, None ->
+        Format.eprintf "one of FILE, --model NAME or --resume is required@.";
+        exit 2
+      | Some path, None -> (
+        match load_program path with
+        | prog -> ("file", path, prog)
+        | exception Icb.Compile_error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2)
+      | None, Some name -> (
+        match resolve_model name with
+        | Ok prog -> ("model", name, prog)
+        | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2)
+    in
+    match parse_strategy ~seed strategy_str with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+    | Ok strategy ->
+      let meta =
+        [
+          ("mode", "explore");
+          ("kind", kind);
+          ("target", target);
+          ("strategy", strategy_str);
+          ("seed", Int64.to_string seed);
+          ("granularity", granularity_name gran);
+          ("no-deadlock", string_of_bool no_deadlock);
+        ]
+        @ (if first_bug then [ ("first-bug", "true") ] else [])
+        @
+        match max_execs with
+        | Some n -> [ ("max-executions", string_of_int n) ]
+        | None -> []
+      in
+      (prog, strategy, meta, gran, no_deadlock, max_execs, first_bug, None)
+  in
+  let resumed file =
+    match Icb_search.Checkpoint.load file with
+    | exception Icb_search.Checkpoint.Corrupt msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+    | ckpt ->
+      let meta k = Icb_search.Checkpoint.meta_find ckpt k in
+      let prog =
+        match (meta "kind", meta "target") with
+        | Some "model", Some name -> (
+          match resolve_model name with
+          | Ok p -> p
+          | Error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2)
+        | Some "file", Some path -> (
+          match load_program path with
+          | p -> p
+          | exception Icb.Compile_error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2
+          | exception Sys_error msg ->
+            Format.eprintf "cannot reload the checkpointed program: %s@." msg;
+            exit 2)
+        | _ ->
+          Format.eprintf
+            "checkpoint %s does not record how to rebuild the program@." file;
+          exit 2
+      in
+      let gran =
+        if meta "granularity" = Some "every" then `Every else `Sync
+      in
+      let no_deadlock = meta "no-deadlock" = Some "true" in
+      (* the file's recorded cap, unless the user raises it explicitly:
+         a run stopped by --max-executions would otherwise stop again
+         immediately on resume *)
+      let max_execs =
+        match max_execs with
+        | Some _ -> max_execs
+        | None -> Option.bind (meta "max-executions") int_of_string_opt
+      in
+      let first_bug = first_bug || meta "first-bug" = Some "true" in
+      if not quiet then
+        Format.eprintf "[icb] resuming %s@."
+          (Icb_search.Checkpoint.describe ckpt);
+      ( prog,
+        Icb_search.Explore.strategy_of_checkpoint ckpt,
+        ckpt.Icb_search.Checkpoint.meta,
+        gran,
+        no_deadlock,
+        max_execs,
+        first_bug,
+        Some (file, ckpt) )
+  in
+  let prog, strategy, meta, gran, no_deadlock, max_execs, first_bug, res =
+    match resume with Some file -> resumed file | None -> fresh ()
+  in
+  let config = config_of_granularity gran in
+  let options =
+    {
+      Icb_search.Collector.default_options with
+      deadlock_is_error = not no_deadlock;
+      deadline = Option.map Icb_search.Collector.deadline_in timeout;
+      max_executions = max_execs;
+      stop_at_first_bug = first_bug;
+    }
+  in
+  let checkpoint_out =
+    match (checkpoint, res) with
+    | Some f, _ -> Some f
+    | None, Some (file, _) -> Some file (* overwrite, like icb resume *)
+    | None, None -> None
+  in
+  let r =
+    try
+      Icb.serve ~config ~options ?checkpoint_out ~checkpoint_every
+        ~checkpoint_meta:meta
+        ?resume_from:(Option.map snd res)
+        ~host ~port ~lease_timeout ~batch_size ~telemetry
+        ~cache:(not no_cache)
+        ~on_coordinator:(fun c ->
+          Format.printf "coordinator listening on %s:%d@." host
+            (Icb.Dist.Coord.port c))
+        ~strategy prog
+    with Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  Obs.Telemetry.close telemetry;
+  Format.printf "%a@." Icb_search.Sresult.pp_summary r;
+  List.iter
+    (fun (bug : Icb.bug) -> Format.printf "@.%a@." Icb.pp_bug bug)
+    r.Icb_search.Sresult.bugs;
+  (match (r.Icb_search.Sresult.stop_reason, checkpoint_out) with
+  | Some _, Some f when not quiet ->
+    Format.eprintf "continue with `icb serve --resume %s`@." f
+  | _ -> ());
+  if r.Icb_search.Sresult.bugs <> [] then exit 1
+
+let serve_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Model source file (or use $(b,--model) for a bundled one).")
+  in
+  let model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Serve a bundled model (a name printed by $(b,icb models)) \
+             instead of a source FILE.")
+  in
+  let doc = "coordinate a distributed search served to icb workers" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens on $(b,--host):$(b,--port) and hands lease-stamped \
+         batches of the current round's work items to $(b,icb worker) \
+         processes, merging their reports at the same deterministic \
+         per-bound barrier the in-process parallel driver uses: the bug \
+         set and per-bound execution counts equal a serial run of the \
+         same search.  A killed worker loses nothing — its leases expire \
+         and the batches are re-issued — and with $(b,--checkpoint) the \
+         coordinator itself can be killed and continued with \
+         $(b,--resume).  The same port serves $(b,GET /metrics) \
+         (Prometheus text) and $(b,GET /status) (JSON) over plain HTTP.  \
+         See docs/DISTRIBUTED.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_run $ path $ model $ strategy_arg $ seed_arg
+      $ no_deadlock_arg $ granularity_arg $ max_execs_arg $ timeout_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ serve_resume_arg $ host_arg
+      $ port_arg $ lease_timeout_arg $ batch_size_arg $ trace_arg
+      $ metrics_arg $ metrics_every_arg $ quiet_arg $ first_bug_arg
+      $ no_cache_arg)
+
+let worker_run addr connect_timeout quiet no_cache =
+  let host, port =
+    match String.rindex_opt addr ':' with
+    | Some i -> (
+      match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+      | Some p -> (String.sub addr 0 i, p)
+      | None ->
+        Format.eprintf "bad address %S (expected HOST:PORT)@." addr;
+        exit 2)
+    | None ->
+      Format.eprintf "bad address %S (expected HOST:PORT)@." addr;
+      exit 2
+  in
+  (* rebuild the engine from the job's provenance: bundled models by
+     registry name, files by path, with the recorded granularity *)
+  let resolve meta =
+    let gran =
+      if List.assoc_opt "granularity" meta = Some "every" then `Every
+      else `Sync
+    in
+    let config = config_of_granularity gran in
+    match (List.assoc_opt "kind" meta, List.assoc_opt "target" meta) with
+    | Some "model", Some name ->
+      Result.map
+        (fun p -> Icb.Dist.Worker.Packed (Icb.engine ~config p))
+        (resolve_model name)
+    | Some "file", Some path -> (
+      match load_program path with
+      | p -> Ok (Icb.Dist.Worker.Packed (Icb.engine ~config p))
+      | exception Icb.Compile_error msg -> Error msg
+      | exception Sys_error msg -> Error msg)
+    | _ -> Error "the job's provenance metadata names no model or file"
+  in
+  (* the coordinator may still be starting; retry connection refusals
+     until --connect-timeout expires *)
+  let deadline = Unix.gettimeofday () +. connect_timeout in
+  let rec attempt () =
+    match Icb.worker ~cache:(not no_cache) ~resolve ~host ~port () with
+    | Ok batches ->
+      if not quiet then
+        Format.eprintf "[icb] worker done after %d batches@." batches
+    | Error msg
+      when String.length msg >= 14
+           && String.sub msg 0 14 = "cannot connect"
+           && Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.2;
+      attempt ()
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  attempt ()
+
+let worker_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT"
+          ~doc:"Coordinator address, as printed by $(b,icb serve).")
+  in
+  let connect_timeout =
+    let doc =
+      "Seconds to keep retrying the initial connection while the \
+       coordinator starts up (default 10)."
+    in
+    Arg.(value & opt float 10.0 & info [ "connect-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let doc = "run leased work batches for an icb serve coordinator" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to a coordinator started with $(b,icb serve), rebuilds \
+         the program from the job's provenance (bundled model name or \
+         source path — the file must exist on this machine too), then \
+         leases work-item batches and streams back bugs, counters and \
+         buffered telemetry until the coordinator reports the search \
+         done.  Workers keep a local prefix-snapshot replay cache; \
+         killing a worker at any point loses nothing.  See \
+         docs/DISTRIBUTED.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc ~man)
+    Term.(
+      const worker_run $ addr $ connect_timeout $ quiet_arg $ no_cache_arg)
+
 (* --- report ------------------------------------------------------------------- *)
 
 let report_run file json =
@@ -1290,6 +1617,8 @@ let () =
             check_model_cmd;
             resume_cmd;
             explore_cmd;
+            serve_cmd;
+            worker_cmd;
             report_cmd;
             bench_cmd;
             compile_cmd;

@@ -57,6 +57,44 @@ let resume ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
     ~env:(Icb_search.Strategy.env_of_prog prog)
     ckpt
 
+module Dist = Icb_dist
+
+let serve ?config ?options ?checkpoint_out ?checkpoint_every ?checkpoint_meta
+    ?resume_from ?host ?port ?lease_timeout ?batch_size ?telemetry ?cache
+    ?on_coordinator ~strategy prog =
+  let coord =
+    Icb_dist.Coord.create ?host ?port ?lease_timeout ?batch_size ?telemetry ()
+  in
+  (match on_coordinator with None -> () | Some f -> f coord);
+  Fun.protect
+    ~finally:(fun () -> Icb_dist.Coord.shutdown coord)
+    (fun () ->
+      Icb_dist.Coord.run coord (engine ?config prog) ?options ?checkpoint_out
+        ?checkpoint_every ?checkpoint_meta ?resume_from
+        ~env:(Icb_search.Strategy.env_of_prog prog)
+        ?cache strategy)
+
+let worker ?config ?cache ?resolve ~host ~port () =
+  (* the default resolver only knows file provenance; callers with a
+     model registry (the CLI) pass their own *)
+  let default_resolve meta =
+    match
+      (List.assoc_opt "kind" meta, List.assoc_opt "target" meta)
+    with
+    | Some "file", Some path -> (
+      match compile_file path with
+      | prog -> Ok (Icb_dist.Worker.Packed (engine ?config prog))
+      | exception Compile_error m -> Error m
+      | exception Sys_error m -> Error m)
+    | _ ->
+      Error
+        "the job's provenance metadata names no model file (need \
+         kind=file with a target path; pass ~resolve for other kinds)"
+  in
+  Icb_dist.Worker.run ?cache ~host ~port
+    ~resolve:(Option.value resolve ~default:default_resolve)
+    ()
+
 let check ?config ?options ?(max_bound = 3) ?telemetry ?domains ?cache prog =
   Icb_search.Explore.check (engine ?config prog) ?options ~max_bound
     ?telemetry ?domains ?cache ()

@@ -96,6 +96,51 @@ val run_parallel :
     ({!resume}) and in parallel ({!resume} with [~domains], or
     [run_parallel ~resume_from]). *)
 
+module Dist = Icb_dist
+
+val serve :
+  ?config:Icb_search.Mach_engine.config ->
+  ?options:Icb_search.Collector.options ->
+  ?checkpoint_out:string ->
+  ?checkpoint_every:int ->
+  ?checkpoint_meta:(string * string) list ->
+  ?resume_from:Icb_search.Checkpoint.t ->
+  ?host:string ->
+  ?port:int ->
+  ?lease_timeout:float ->
+  ?batch_size:int ->
+  ?telemetry:Icb_obs.Telemetry.t ->
+  ?cache:bool ->
+  ?on_coordinator:(Icb_dist.Coord.t -> unit) ->
+  strategy:Icb_search.Explore.strategy ->
+  prog ->
+  result
+(** Coordinate a distributed search of [prog]: listen on [host]:[port]
+    (default loopback, ephemeral), lease work-item batches to [icb
+    worker] processes and merge their reports at the same deterministic
+    per-bound barrier the in-process parallel driver uses, so the result
+    (bug set, per-bound execution counts) equals a serial {!run} of the
+    same search — see docs/DISTRIBUTED.md.  [on_coordinator] runs before
+    blocking (read the bound {!Icb_dist.Coord.port} there);
+    [checkpoint_meta] doubles as the job provenance workers use to
+    rebuild the program.  The coordinator is shut down (port released)
+    when the search returns. *)
+
+val worker :
+  ?config:Icb_search.Mach_engine.config ->
+  ?cache:bool ->
+  ?resolve:
+    ((string * string) list ->
+    (Icb_dist.Worker.packed_engine, string) Stdlib.result) ->
+  host:string ->
+  port:int ->
+  unit ->
+  (int, string) Stdlib.result
+(** Serve one coordinator as a worker until its run finishes; returns the
+    number of batches processed.  The default resolver compiles the job's
+    [kind=file]/[target] provenance with {!compile_file}; pass [resolve]
+    to support other kinds (the CLI adds the bundled model registry). *)
+
 val resume :
   ?config:Icb_search.Mach_engine.config ->
   ?options:Icb_search.Collector.options ->

@@ -1,0 +1,946 @@
+module Json = Icb_obs.Json
+module Telemetry = Icb_obs.Telemetry
+module Metrics = Icb_obs.Metrics
+module Http = Icb_obs.Http
+module Collector = Icb_search.Collector
+module Strategy = Icb_search.Strategy
+module Driver = Icb_search.Driver
+module Explore = Icb_search.Explore
+module Checkpoint = Icb_search.Checkpoint
+module Search_core = Icb_search.Search_core
+module Sresult = Icb_search.Sresult
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+(* --- state ---------------------------------------------------------------- *)
+
+type lease = { l_token : int; l_batch : int; l_conn : int; l_issued : float }
+
+(* One round of the search, while it is being served.  [rs_items.(b)] is
+   batch [b]'s work slice; a batch is always in exactly one place —
+   pending, leased (at most one live lease), or completed
+   ([rs_reports.(b) = Some _]) — which is what makes absorption
+   at-most-once. *)
+type round_state = {
+  rs_round : int;
+  rs_tag : string;
+  rs_params : (string * string) list;
+  rs_items : (int list * int) list array;
+  rs_reports : (Proto.report * Collector.snapshot) option array;
+  mutable rs_pending : int list; (* sorted batch ids *)
+  mutable rs_leases : lease list;
+  mutable rs_completed : int;
+}
+
+(* Limit accounting, batch-granular: counters absorbed this round stack
+   on the master's round-start baseline, mirroring the parallel driver's
+   per-execution hook at its coarser granularity. *)
+type limits = {
+  li_options : Collector.options;
+  mutable li_base_execs : int;
+  mutable li_base_states : int;
+  mutable li_base_steps : int;
+  mutable li_base_bugs : int;
+  mutable li_acc_execs : int;
+  mutable li_acc_states : int;
+  mutable li_acc_steps : int;
+  mutable li_acc_bugs : int;
+}
+
+type phase = Starting | Serving | Finished
+
+type mx = {
+  mx_workers : Metrics.gauge;
+  mx_leased : Metrics.counter;
+  mx_completed : Metrics.counter;
+  mx_reissued : Metrics.counter;
+  mx_stale : Metrics.counter;
+  mx_rounds : Metrics.counter;
+}
+
+type t = {
+  sock : Unix.file_descr;
+  sock_port : int;
+  wake_addr : Unix.sockaddr; (* self-connect target to unblock accept *)
+  m : Mutex.t;
+  cv : Condition.t;
+  tel : Telemetry.t;
+  lease_timeout : float;
+  batch_size : int;
+  mx : mx;
+  mutable phase : phase;
+  mutable strat_name : string;
+  mutable job : Proto.job option; (* [j_worker] re-stamped per hello *)
+  mutable round : round_state option;
+  mutable limits : limits option;
+  mutable stop_requested : Sresult.stop_reason option;
+  mutable ck_wanted : bool;
+  mutable ck_every : int;
+  mutable ck_last : int; (* executions at the last checkpoint *)
+  mutable next_worker : int;
+  mutable next_token : int;
+  mutable workers : int;
+  mutable next_conn : int;
+  mutable closed : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let port t = t.sock_port
+let telemetry t = t.tel
+
+(* Metric updates run while holding [t.m]; the registry itself is only
+   safe under the telemetry consumer lock, so the order is always
+   [t.m] then [Telemetry.locked] — the HTTP handlers take one or the
+   other, never both. *)
+let m_inc t c = Telemetry.locked t.tel (fun () -> Metrics.inc c 1.)
+let m_add t c n = Telemetry.locked t.tel (fun () -> Metrics.inc c (float_of_int n))
+let m_set t g v = Telemetry.locked t.tel (fun () -> Metrics.set g (float_of_int v))
+
+(* --- lease bookkeeping (all under [t.m]) ---------------------------------- *)
+
+let requeue t rs batches =
+  if batches <> [] then begin
+    rs.rs_pending <- List.sort compare (batches @ rs.rs_pending);
+    m_add t t.mx.mx_reissued (List.length batches)
+  end
+
+let void_conn_leases t conn =
+  match t.round with
+  | None -> ()
+  | Some rs ->
+    let mine, rest = List.partition (fun l -> l.l_conn = conn) rs.rs_leases in
+    rs.rs_leases <- rest;
+    requeue t rs (List.map (fun l -> l.l_batch) mine)
+
+let reclaim_expired t rs =
+  let now = Unix.gettimeofday () in
+  let dead, live =
+    List.partition (fun l -> now -. l.l_issued > t.lease_timeout) rs.rs_leases
+  in
+  rs.rs_leases <- live;
+  requeue t rs (List.map (fun l -> l.l_batch) dead)
+
+let request_stop t r =
+  if t.stop_requested = None then t.stop_requested <- Some r
+
+(* Limit checks, in the parallel driver's order so the recorded
+   stop_reason matches when several limits trip in one batch. *)
+let check_limits t snap =
+  match t.limits with
+  | None -> ()
+  | Some li ->
+    li.li_acc_execs <- li.li_acc_execs + Collector.snapshot_executions snap;
+    li.li_acc_states <- li.li_acc_states + Collector.snapshot_states snap;
+    li.li_acc_steps <- li.li_acc_steps + Collector.snapshot_steps snap;
+    li.li_acc_bugs <-
+      li.li_acc_bugs + List.length (Collector.snapshot_bugs snap);
+    let o = li.li_options in
+    let execs = li.li_base_execs + li.li_acc_execs in
+    (match o.Collector.max_executions with
+    | Some l when execs >= l -> request_stop t Sresult.Execution_limit
+    | Some _ | None -> ());
+    (match o.Collector.max_states with
+    | Some l when li.li_base_states + li.li_acc_states >= l ->
+      request_stop t Sresult.State_limit
+    | Some _ | None -> ());
+    (match o.Collector.max_total_steps with
+    | Some l when li.li_base_steps + li.li_acc_steps >= l ->
+      request_stop t Sresult.Step_limit
+    | Some _ | None -> ());
+    (match o.Collector.deadline with
+    | Some d when Unix.gettimeofday () >= d ->
+      request_stop t Sresult.Deadline_exceeded
+    | Some _ | None -> ());
+    if o.Collector.stop_at_first_bug && li.li_base_bugs + li.li_acc_bugs > 0
+    then request_stop t Sresult.First_bug;
+    if execs - t.ck_last >= t.ck_every then t.ck_wanted <- true
+
+(* --- protocol handling ---------------------------------------------------- *)
+
+let absorb t ~lease ~(report : Proto.report) =
+  let stale () =
+    m_inc t t.mx.mx_stale;
+    Proto.Stale
+  in
+  match t.round with
+  | Some rs when t.phase = Serving -> (
+    match List.find_opt (fun l -> l.l_token = lease) rs.rs_leases with
+    | None -> stale ()
+    | Some l -> (
+      match Collector.snapshot_of_json report.Proto.r_snapshot with
+      | Error _ -> stale ()
+      | Ok snap ->
+        rs.rs_leases <- List.filter (fun x -> x.l_token <> lease) rs.rs_leases;
+        rs.rs_reports.(l.l_batch) <- Some (report, snap);
+        rs.rs_completed <- rs.rs_completed + 1;
+        m_inc t t.mx.mx_completed;
+        check_limits t snap;
+        Condition.broadcast t.cv;
+        Proto.Accepted))
+  | _ -> stale ()
+
+(* [greeted] is per connection: the worker gauge counts connections that
+   completed a hello, and is decremented when they drop. *)
+let reply_to t ~conn ~greeted msg =
+  match msg with
+  | Proto.Hello -> (
+    match t.job with
+    | None -> Proto.Wait { ms = 50 }
+    | Some job ->
+      if not !greeted then begin
+        greeted := true;
+        t.workers <- t.workers + 1;
+        m_set t t.mx.mx_workers t.workers
+      end;
+      let wid = t.next_worker in
+      t.next_worker <- t.next_worker + 1;
+      Proto.Job { job with Proto.j_worker = wid })
+  | Proto.Request -> (
+    match t.round with
+    | Some rs when t.phase = Serving && t.stop_requested = None -> (
+      reclaim_expired t rs;
+      match rs.rs_pending with
+      | [] -> Proto.Wait { ms = 50 }
+      | b :: rest ->
+        rs.rs_pending <- rest;
+        let token = t.next_token in
+        t.next_token <- t.next_token + 1;
+        rs.rs_leases <-
+          {
+            l_token = token;
+            l_batch = b;
+            l_conn = conn;
+            l_issued = Unix.gettimeofday ();
+          }
+          :: rs.rs_leases;
+        m_inc t t.mx.mx_leased;
+        Proto.Batch
+          {
+            Proto.b_lease = token;
+            b_id = b;
+            b_tag = rs.rs_tag;
+            b_params = rs.rs_params;
+            b_round = rs.rs_round;
+            b_items = rs.rs_items.(b);
+          })
+    | _ -> if t.phase = Finished then Proto.Done else Proto.Wait { ms = 50 })
+  | Proto.Result { lease; report } -> absorb t ~lease ~report
+
+let serve_protocol t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  let conn = with_lock t.m (fun () ->
+      let c = t.next_conn in
+      t.next_conn <- t.next_conn + 1;
+      c)
+  in
+  let greeted = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      with_lock t.m (fun () ->
+          void_conn_leases t conn;
+          if !greeted then begin
+            t.workers <- t.workers - 1;
+            m_set t t.mx.mx_workers t.workers
+          end;
+          Condition.broadcast t.cv))
+    (fun () ->
+      let rec loop () =
+        match Proto.recv ic with
+        | Error (`Closed | `Malformed _) -> ()
+        | Ok j -> (
+          match Proto.c2s_of_json j with
+          | Error _ -> ()
+          | Ok msg ->
+            let reply = with_lock t.m (fun () -> reply_to t ~conn ~greeted msg) in
+            (match Proto.send oc (Proto.s2c_to_json reply) with
+            | () -> loop ()
+            | exception Sys_error _ -> ()))
+      in
+      loop ())
+
+(* --- HTTP handling -------------------------------------------------------- *)
+
+let phase_string = function
+  | Starting -> "starting"
+  | Serving -> "serving"
+  | Finished -> "finished"
+
+let status_json t =
+  with_lock t.m (fun () ->
+      let batches =
+        match t.round with
+        | None -> []
+        | Some rs ->
+          [
+            ( "batches",
+              Json.Obj
+                [
+                  ("total", Json.Int (Array.length rs.rs_items));
+                  ("completed", Json.Int rs.rs_completed);
+                  ("pending", Json.Int (List.length rs.rs_pending));
+                  ("leased", Json.Int (List.length rs.rs_leases));
+                ] );
+            ("round", Json.Int rs.rs_round);
+          ]
+      in
+      let counters =
+        match t.limits with
+        | None -> []
+        | Some li ->
+          [
+            ("executions", Json.Int (li.li_base_execs + li.li_acc_execs));
+            ("total_steps", Json.Int (li.li_base_steps + li.li_acc_steps));
+            ("bugs", Json.Int (li.li_base_bugs + li.li_acc_bugs));
+          ]
+      in
+      Json.Obj
+        ([
+           ("phase", Json.String (phase_string t.phase));
+           ("strategy", Json.String t.strat_name);
+           ("port", Json.Int t.sock_port);
+           ("workers", Json.Int t.workers);
+           ( "stop_reason",
+             match t.stop_requested with
+             | None -> Json.Null
+             | Some r -> Json.String (Sresult.stop_reason_string r) );
+         ]
+        @ batches @ counters))
+
+let serve_http t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  match Http.read_request ic with
+  | Error _ -> ()
+  | Ok { Http.meth; path } -> (
+    match (meth, path) with
+    | ("GET" | "HEAD"), "/metrics" ->
+      let body =
+        Telemetry.locked t.tel (fun () ->
+            Metrics.to_prometheus (Telemetry.metrics t.tel))
+      in
+      Http.respond oc ~content_type:"text/plain; version=0.0.4" body
+    | ("GET" | "HEAD"), "/status" ->
+      Http.respond oc ~content_type:"application/json"
+        (Json.to_string (status_json t))
+    | ("GET" | "HEAD"), _ -> Http.not_found oc
+    | _ -> Http.method_not_allowed oc)
+
+(* --- accept loop ---------------------------------------------------------- *)
+
+(* The two protocols share the port; the first eight bytes distinguish
+   them ({!Proto.magic} vs an HTTP request line) without consuming
+   anything either parser needs. *)
+let peek8 fd =
+  let buf = Bytes.create 8 in
+  let rec go () =
+    match Unix.recv fd buf 0 8 [ Unix.MSG_PEEK ] with
+    | 0 -> None
+    | n when n >= 8 -> Some (Bytes.sub_string buf 0 8)
+    | _ ->
+      Unix.sleepf 0.002;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let handle_conn t fd =
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match peek8 fd with
+  | None -> close ()
+  | Some prefix ->
+    Fun.protect ~finally:close (fun () ->
+        if String.equal prefix Proto.magic then serve_protocol t fd
+        else serve_http t fd)
+
+let acceptor t () =
+  let rec loop () =
+    match Unix.accept t.sock with
+    | fd, _ ->
+      if with_lock t.m (fun () -> t.closed) then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        try Unix.close t.sock with Unix.Unix_error _ -> ()
+      end
+      else begin
+        ignore (Thread.create (fun () -> handle_conn t fd) ());
+        loop ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> (
+      try Unix.close t.sock with Unix.Unix_error _ -> ())
+  in
+  loop ()
+
+(* --- construction --------------------------------------------------------- *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      invalid_arg (Printf.sprintf "Coord.create: cannot resolve host %s" host)
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found ->
+      invalid_arg (Printf.sprintf "Coord.create: cannot resolve host %s" host))
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(lease_timeout = 30.)
+    ?(batch_size = 32) ?telemetry () =
+  if batch_size < 1 then invalid_arg "Coord.create: batch_size must be >= 1";
+  if lease_timeout <= 0. then
+    invalid_arg "Coord.create: lease_timeout must be positive";
+  let tel =
+    match telemetry with Some t -> t | None -> Telemetry.create ()
+  in
+  Telemetry.track_metrics tel;
+  let mx =
+    Telemetry.locked tel (fun () ->
+        let m = Telemetry.metrics tel in
+        {
+          mx_workers =
+            Metrics.gauge m ~help:"Connected distributed workers"
+              "icb_dist_workers";
+          mx_leased =
+            Metrics.counter m ~help:"Work-item batches leased to workers"
+              "icb_dist_batches_leased";
+          mx_completed =
+            Metrics.counter m ~help:"Batches absorbed into the master"
+              "icb_dist_batches_completed";
+          mx_reissued =
+            Metrics.counter m
+              ~help:"Leases voided (expiry or disconnect) and re-queued"
+              "icb_dist_leases_reissued";
+          mx_stale =
+            Metrics.counter m ~help:"Reports rejected for a voided lease"
+              "icb_dist_stale_reports";
+          mx_rounds =
+            Metrics.counter m ~help:"Completed distributed rounds"
+              "icb_dist_rounds";
+        })
+  in
+  let addr = resolve_host host in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let sock_port =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (addr, port));
+      Unix.listen sock 64;
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let wake_addr =
+    let a =
+      if addr = Unix.inet_addr_any then Unix.inet_addr_loopback else addr
+    in
+    Unix.ADDR_INET (a, sock_port)
+  in
+  let t =
+    {
+      sock;
+      sock_port;
+      wake_addr;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      tel;
+      lease_timeout;
+      batch_size;
+      mx;
+      phase = Starting;
+      strat_name = "";
+      job = None;
+      round = None;
+      limits = None;
+      stop_requested = None;
+      ck_wanted = false;
+      ck_every = max_int;
+      ck_last = 0;
+      next_worker = 0;
+      next_token = 0;
+      workers = 0;
+      next_conn = 0;
+      closed = false;
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create (acceptor t) ());
+  t
+
+let shutdown t =
+  let was_closed = with_lock t.m (fun () ->
+      let c = t.closed in
+      t.closed <- true;
+      if t.phase <> Serving then t.phase <- Finished;
+      Condition.broadcast t.cv;
+      c)
+  in
+  if not was_closed then begin
+    (* unblock [accept]: the acceptor sees [closed] and closes the
+       listening socket itself *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd t.wake_addr with Unix.Unix_error _ -> ());
+       try Unix.close fd with Unix.Unix_error _ -> ()
+     with Unix.Unix_error _ -> ());
+    match t.acceptor with None -> () | Some th -> Thread.join th
+  end
+
+(* --- the search loop ------------------------------------------------------ *)
+
+let rec chunk n acc l =
+  match l with
+  | [] -> List.rev acc
+  | _ ->
+    let rec take k xs =
+      match (k, xs) with
+      | 0, _ | _, [] -> ([], xs)
+      | k, x :: rest ->
+        let b, r = take (k - 1) rest in
+        (x :: b, r)
+    in
+    let b, rest = take n l in
+    chunk n (b :: acc) rest
+
+let run (type s) t (module E : Icb_search.Engine.S with type state = s)
+    ?(options = Collector.default_options) ?checkpoint_out
+    ?(checkpoint_every = Search_core.default_checkpoint_every)
+    ?(checkpoint_meta = []) ?resume_from ?env ?(cache = true) strategy :
+    Sresult.t =
+  let (module S : Strategy.S with type state = s) =
+    Explore.instantiate ?env (module E) strategy
+  in
+  if not (S.shardable && S.checkpointable) then
+    invalid_arg
+      (Printf.sprintf
+         "Coord.run: the %s frontier does not distribute (it must shard \
+          and serialize; strategies that do: icb, dfs, db:N, idfs:N, \
+          random, pct:N, vb:N, tb:N, icb-vb:N)"
+         S.name);
+  let emit = Telemetry.emitter t.tel ~worker:0 in
+  let options = { options with Collector.events = emit } in
+  let fp = Driver.fingerprint (module E) in
+  let resume_v3 =
+    Option.map
+      (fun (c : Checkpoint.t) ->
+        let f = Checkpoint.to_v3 c in
+        if f.Checkpoint.v3_tag <> S.tag then
+          invalid_arg
+            (Printf.sprintf
+               "Coord.run: checkpoint was written by a %s search, not %s"
+               f.Checkpoint.v3_tag S.tag);
+        (match List.assoc_opt Driver.fingerprint_key f.Checkpoint.v3_params with
+        | Some s when s <> fp ->
+          invalid_arg
+            "Coord.run: the checkpoint belongs to a different program \
+             (initial-state fingerprint mismatch)"
+        | Some _ | None -> ());
+        f)
+      resume_from
+  in
+  let master =
+    match resume_from with
+    | None -> Collector.create options
+    | Some (c : Checkpoint.t) -> Collector.restore options c.Checkpoint.collector
+  in
+  (* wall-clock accounting across interruptions, exactly as in
+     [Driver.run]: seed from the resumed params, charge each completed
+     round, stamp fingerprint + timing into every save *)
+  let run_started_at = Unix.gettimeofday () in
+  let param key =
+    Option.bind resume_v3 (fun (f : Checkpoint.v3) ->
+        List.assoc_opt key f.Checkpoint.v3_params)
+  in
+  let base_elapsed =
+    Option.value
+      (Option.bind (param Checkpoint.elapsed_key) float_of_string_opt)
+      ~default:0.0
+  in
+  let bound_times =
+    ref
+      (match param Checkpoint.bound_times_key with
+      | Some s -> Checkpoint.decode_bound_times s
+      | None -> [])
+  in
+  let round_started = ref run_started_at in
+  let add_bound_time bt (b, d) =
+    if List.mem_assoc b bt then
+      List.map (fun (b', s) -> if b' = b then (b', s +. d) else (b', s)) bt
+    else if d < 0.0005 then bt
+    else bt @ [ (b, d) ]
+  in
+  let note_round_done r =
+    let now = Unix.gettimeofday () in
+    bound_times := add_bound_time !bound_times (r, now -. !round_started);
+    round_started := now
+  in
+  let stamp (f : Checkpoint.v3) =
+    let now = Unix.gettimeofday () in
+    let bt =
+      add_bound_time !bound_times (S.round (), now -. !round_started)
+    in
+    {
+      f with
+      Checkpoint.v3_params =
+        f.Checkpoint.v3_params
+        @ [
+            (Driver.fingerprint_key, fp);
+            ( Checkpoint.elapsed_key,
+              Printf.sprintf "%.3f" (base_elapsed +. now -. run_started_at) );
+            (Checkpoint.bound_times_key, Checkpoint.encode_bound_times bt);
+          ];
+    }
+  in
+  let ckpt =
+    Option.map
+      (fun path ->
+        {
+          Search_core.ck_path = path;
+          ck_every = max 1 checkpoint_every;
+          ck_meta = checkpoint_meta;
+          ck_last = Collector.executions master;
+          ck_events = emit;
+        })
+      checkpoint_out
+  in
+  let stripped =
+    {
+      options with
+      Collector.max_executions = None;
+      max_states = None;
+      max_total_steps = None;
+      deadline = None;
+      stop_at_first_bug = false;
+      on_progress = None;
+      events = Icb_obs.Emit.null;
+    }
+  in
+  let wstates = [| S.wstate () |] in
+  (* publish the job: from here on, hellos are answered *)
+  with_lock t.m (fun () ->
+      if t.closed then invalid_arg "Coord.run: the coordinator was shut down";
+      if t.job <> None then
+        invalid_arg "Coord.run: the coordinator already ran a search";
+      t.strat_name <- S.name;
+      t.job <-
+        Some
+          {
+            Proto.j_meta = checkpoint_meta;
+            j_root_sig = fp;
+            j_deadlock_is_error = options.Collector.deadlock_is_error;
+            j_terminal_states_only = options.Collector.terminal_states_only;
+            j_cache = cache;
+            j_worker = 0;
+          };
+      t.limits <-
+        Some
+          {
+            li_options = options;
+            li_base_execs = Collector.executions master;
+            li_base_states = Collector.seen_states master;
+            li_base_steps = Collector.total_steps master;
+            li_base_bugs = Collector.bug_count master;
+            li_acc_execs = 0;
+            li_acc_states = 0;
+            li_acc_steps = 0;
+            li_acc_bugs = 0;
+          };
+      t.ck_every <- (match ckpt with Some c -> c.Search_core.ck_every | None -> max_int);
+      t.ck_last <- Collector.executions master);
+  (* a ticker so a deadline fires and leases expire even while no worker
+     is talking to us; it also wakes the round loop below *)
+  let ticker =
+    Thread.create
+      (fun () ->
+        let rec tick () =
+          Unix.sleepf 0.05;
+          let live = with_lock t.m (fun () ->
+              (match (t.limits, t.stop_requested) with
+              | Some li, None -> (
+                match li.li_options.Collector.deadline with
+                | Some d when Unix.gettimeofday () >= d ->
+                  request_stop t Sresult.Deadline_exceeded
+                | Some _ | None -> ())
+              | _ -> ());
+              (match t.round with
+              | Some rs when t.phase = Serving -> reclaim_expired t rs
+              | _ -> ());
+              Condition.broadcast t.cv;
+              t.phase <> Finished)
+          in
+          if live then tick ()
+        in
+        tick ())
+      ()
+  in
+  Icb_obs.Emit.emit emit
+    (Icb_obs.Event.Run_started
+       { strategy = S.name; domains = 0; resumed = resume_from <> None });
+  let save_with col ~work ~next =
+    match ckpt with
+    | None -> ()
+    | Some ctl ->
+      Search_core.save_checkpoint col ctl ~strategy:S.name
+        ~frontier:(Checkpoint.V3 (stamp (S.to_prefixes ~wstates ~work ~next)));
+      with_lock t.m (fun () -> t.ck_last <- ctl.Search_core.ck_last)
+  in
+  (* Mid-round checkpoint: a scratch collector over the round-start
+     snapshot plus every batch absorbed so far (in batch-id order, like
+     the barrier), unabsorbed batches as the work list.  Runs in this
+     thread with [t.m] released, over a capture taken under the lock. *)
+  let mid_save ~master_snap ~sent_params ~round_no ~arr ~carry =
+    match ckpt with
+    | None -> ()
+    | Some ctl ->
+      let reports =
+        with_lock t.m (fun () ->
+            match t.round with
+            | Some rs -> Array.copy rs.rs_reports
+            | None -> [||])
+      in
+      let scratch = Collector.restore stripped master_snap in
+      let candidates = ref [] in
+      Array.iter
+        (fun r ->
+          match r with
+          | None -> ()
+          | Some (_, sn) ->
+            Collector.merge_stats scratch sn;
+            candidates := Collector.snapshot_bugs sn @ !candidates)
+        reports;
+      Driver.absorb_bugs scratch !candidates;
+      let work = ref [] and deferred = ref [] and reported = ref [] in
+      Array.iteri
+        (fun b r ->
+          match r with
+          | None -> work := !work @ arr.(b)
+          | Some ((rep : Proto.report), _) ->
+            deferred := !deferred @ rep.Proto.r_deferred;
+            reported := rep.Proto.r_params :: !reported)
+        reports;
+      let params =
+        Strategy.merge_params ~sent:sent_params ~reported:(List.rev !reported)
+      in
+      let next =
+        Driver.strip_items
+          (Driver.sorted_items
+             (carry @ List.map Driver.of_prefix !deferred))
+      in
+      Search_core.save_checkpoint scratch ctl ~strategy:S.name
+        ~frontier:
+          (Checkpoint.V3
+             (stamp
+                {
+                  Checkpoint.v3_tag = S.tag;
+                  v3_params = params;
+                  v3_round = round_no;
+                  v3_work = !work;
+                  v3_next = next;
+                }));
+      with_lock t.m (fun () -> t.ck_last <- ctl.Search_core.ck_last)
+  in
+  let rec drive work carry =
+    let work = Driver.sorted_items work in
+    let prefixes = Driver.strip_items work in
+    let f0 = S.to_prefixes ~wstates ~work:prefixes ~next:[] in
+    let sent_params = f0.Checkpoint.v3_params in
+    let round_no = f0.Checkpoint.v3_round in
+    let n_work = List.length prefixes in
+    let arr = Array.of_list (chunk t.batch_size [] prefixes) in
+    let nb = Array.length arr in
+    Collector.note_frontier master n_work;
+    Icb_obs.Emit.emit emit
+      (Icb_obs.Event.Bound_started { bound = S.round (); items = n_work });
+    let master_snap = Collector.snapshot master in
+    with_lock t.m (fun () ->
+        (match t.limits with
+        | Some li ->
+          li.li_base_execs <- Collector.executions master;
+          li.li_base_states <- Collector.seen_states master;
+          li.li_base_steps <- Collector.total_steps master;
+          li.li_base_bugs <- Collector.bug_count master;
+          li.li_acc_execs <- 0;
+          li.li_acc_states <- 0;
+          li.li_acc_steps <- 0;
+          li.li_acc_bugs <- 0
+        | None -> ());
+        t.ck_wanted <- false;
+        t.round <-
+          Some
+            {
+              rs_round = round_no;
+              rs_tag = S.tag;
+              rs_params = sent_params;
+              rs_items = arr;
+              rs_reports = Array.make nb None;
+              rs_pending = List.init nb Fun.id;
+              rs_leases = [];
+              rs_completed = 0;
+            };
+        t.phase <- Serving;
+        Condition.broadcast t.cv);
+    let rec wait () =
+      let what = with_lock t.m (fun () ->
+          let rs = Option.get t.round in
+          if rs.rs_completed >= nb || t.stop_requested <> None then `Barrier
+          else if t.ck_wanted then begin
+            t.ck_wanted <- false;
+            `Ckpt
+          end
+          else begin
+            Condition.wait t.cv t.m;
+            `Again
+          end)
+      in
+      match what with
+      | `Barrier -> ()
+      | `Ckpt ->
+        mid_save ~master_snap ~sent_params ~round_no ~arr ~carry;
+        wait ()
+      | `Again -> wait ()
+    in
+    wait ();
+    (* retire the round before merging: late reports turn stale *)
+    let rs, stop = with_lock t.m (fun () ->
+        let rs = Option.get t.round in
+        t.round <- None;
+        t.phase <- Starting;
+        (rs, t.stop_requested))
+    in
+    (* the deterministic barrier merge, in batch-id order *)
+    let candidates = ref [] in
+    Array.iter
+      (fun r ->
+        match r with
+        | None -> ()
+        | Some (_, sn) ->
+          Collector.merge_stats master sn;
+          candidates := Collector.snapshot_bugs sn @ !candidates)
+      rs.rs_reports;
+    Driver.absorb_bugs master !candidates;
+    (* telemetry: replay each batch's buffered events in batch-id order —
+       the merged trace is deterministic up to timestamps — then stamp
+       the batch totals *)
+    Array.iteri
+      (fun b r ->
+        match r with
+        | None -> ()
+        | Some ((rep : Proto.report), sn) ->
+          Telemetry.inject t.tel
+            (List.filter_map
+               (fun ej -> Result.to_option (Icb_obs.Event.of_json ej))
+               rep.Proto.r_events);
+          Icb_obs.Emit.emit emit
+            (Icb_obs.Event.Worker_stats
+               {
+                 stats_for = b;
+                 executions = Collector.snapshot_executions sn;
+                 steps = Collector.snapshot_steps sn;
+                 bugs = List.length (Collector.snapshot_bugs sn);
+               }))
+      rs.rs_reports;
+    let completed = ref [] in
+    Array.iter
+      (fun r -> match r with None -> () | Some (rep, _) -> completed := rep :: !completed)
+      rs.rs_reports;
+    let completed = List.rev !completed in
+    let next_items =
+      Driver.sorted_items
+        (carry
+        @ List.concat_map
+            (fun (rep : Proto.report) ->
+              List.map Driver.of_prefix rep.Proto.r_deferred)
+            completed)
+    in
+    (* fold the workers' round-local params (truncation counts, sealing
+       counts, PCT's step estimate) back into this instance, as if one
+       [to_prefixes] had seen the union of their worker states; the
+       non-empty work list keeps the randomized strategies from minting *)
+    if completed <> [] then
+      ignore
+        (S.of_prefixes master
+           {
+             Checkpoint.v3_tag = S.tag;
+             v3_params =
+               Strategy.merge_params ~sent:sent_params
+                 ~reported:(List.map (fun (r : Proto.report) -> r.Proto.r_params) completed);
+             v3_round = round_no;
+             v3_work = prefixes;
+             v3_next = [];
+           });
+    m_inc t t.mx.mx_rounds;
+    note_round_done (S.round ());
+    match stop with
+    | Some r ->
+      Collector.note_stop master r;
+      let unabsorbed = ref [] in
+      Array.iteri
+        (fun b rep -> if rep = None then unabsorbed := !unabsorbed @ arr.(b))
+        rs.rs_reports;
+      save_with master ~work:!unabsorbed
+        ~next:(Driver.strip_items next_items)
+    | None -> (
+      Collector.mark_growth master;
+      match S.after_round master ~wstates ~deferred:next_items with
+      | `Complete ->
+        Collector.set_complete master;
+        save_with master ~work:[] ~next:[]
+      | `Bounded -> save_with master ~work:[] ~next:(Driver.strip_items next_items)
+      | `Round items -> drive items [])
+  in
+  (try
+     match resume_v3 with
+     | Some f ->
+       let work, carry = S.of_prefixes master f in
+       drive
+         (List.map Driver.of_prefix work)
+         (List.map Driver.of_prefix carry)
+     | None ->
+       let items = S.roots (module E) wstates.(0) master in
+       if items = [] then Collector.set_complete master else drive items []
+   with Collector.Stop -> ());
+  with_lock t.m (fun () ->
+      t.phase <- Finished;
+      t.round <- None;
+      Condition.broadcast t.cv);
+  Thread.join ticker;
+  (* Give connected workers a moment to poll once more and receive
+     [Done], so their processes exit cleanly before the caller tears the
+     port down; a worker that lingers past the grace is simply dropped. *)
+  let grace = Unix.gettimeofday () +. 5.0 in
+  let rec drain () =
+    if with_lock t.m (fun () -> t.workers) > 0
+       && Unix.gettimeofday () < grace
+    then begin
+      Unix.sleepf 0.02;
+      drain ()
+    end
+  in
+  drain ();
+  let res = Collector.result master ~strategy:S.name in
+  Icb_obs.Emit.emit emit
+    (Icb_obs.Event.Run_finished
+       {
+         executions = res.Sresult.executions;
+         states = res.Sresult.distinct_states;
+         bugs = List.length res.Sresult.bugs;
+         complete = res.Sresult.complete;
+         stop_reason =
+           Option.map Sresult.stop_reason_string res.Sresult.stop_reason;
+       });
+  res

@@ -1,0 +1,45 @@
+type request = { meth : string; path : string }
+
+let read_line_crlf ic =
+  match input_line ic with
+  | line ->
+    let len = String.length line in
+    if len > 0 && line.[len - 1] = '\r' then Some (String.sub line 0 (len - 1))
+    else Some line
+  | exception End_of_file -> None
+
+let read_request ic =
+  match read_line_crlf ic with
+  | None -> Error "connection closed before a request line"
+  | Some line -> (
+    match String.split_on_char ' ' line with
+    | [ meth; path; _version ] ->
+      (* drain the header block; we act on the request line alone *)
+      let rec drain () =
+        match read_line_crlf ic with
+        | None | Some "" -> ()
+        | Some _ -> drain ()
+      in
+      drain ();
+      Ok { meth = String.uppercase_ascii meth; path }
+    | _ -> Error (Printf.sprintf "malformed request line %S" line))
+
+let respond oc ?(status = (200, "OK")) ~content_type body =
+  let code, reason = status in
+  Printf.fprintf oc
+    "HTTP/1.1 %d %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n"
+    code reason content_type (String.length body);
+  output_string oc body;
+  flush oc
+
+let not_found oc =
+  respond oc ~status:(404, "Not Found") ~content_type:"text/plain"
+    "not found\n"
+
+let method_not_allowed oc =
+  respond oc ~status:(405, "Method Not Allowed") ~content_type:"text/plain"
+    "method not allowed\n"

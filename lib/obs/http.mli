@@ -1,0 +1,26 @@
+(** Just enough HTTP/1.1 to serve [GET /metrics] and [GET /status] from
+    the distributed coordinator's listening socket — request-line plus
+    headers in, one [Connection: close] response out.  Not a web server:
+    no keep-alive, no chunking, no body parsing. *)
+
+type request = {
+  meth : string;  (** upper-cased, e.g. ["GET"] *)
+  path : string;  (** as sent, query string included *)
+}
+
+val read_request : in_channel -> (request, string) result
+(** Parse the request line and consume the header block.  [Error] on
+    malformed or truncated input. *)
+
+val respond :
+  out_channel ->
+  ?status:int * string ->
+  content_type:string ->
+  string ->
+  unit
+(** Write a complete response (default status [200 OK]) with
+    [Content-Length] and [Connection: close], then flush.  The caller
+    closes the socket. *)
+
+val not_found : out_channel -> unit
+val method_not_allowed : out_channel -> unit

@@ -1,8 +1,12 @@
 (* A minimal JSON tree, printer and parser — just enough for the
-   telemetry trace (JSONL), the metrics snapshot and the bench output.
-   The project deliberately has no external JSON dependency, and the
-   subset here (no surrogate-pair escapes beyond what we ever emit) is
-   a closed loop: everything [to_string] produces, [parse] reads back. *)
+   telemetry trace (JSONL), the metrics snapshot, the bench output and
+   the distributed wire protocol.  The project deliberately has no
+   external JSON dependency.  Strings are byte strings: the printer
+   escapes only what JSON forces it to (quotes, backslash, control
+   characters) and passes other bytes through verbatim, and the parser
+   reverses both that and the escapes other producers use (strict
+   4-hex-digit \uXXXX, surrogate pairs) — so [parse (to_string v) = v]
+   for every value, a property test_obs.ml checks. *)
 
 type t =
   | Null
@@ -101,18 +105,38 @@ let parse s =
     end
     else fail "bad literal"
   in
-  (* best-effort UTF-8 of a \uXXXX scalar; we only ever emit \u00XX *)
+  (* UTF-8 of a \uXXXX scalar (or a surrogate-pair supplement) *)
   let add_scalar b u =
     if u < 0x80 then Buffer.add_char b (Char.chr u)
     else if u < 0x800 then begin
       Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
     end
-    else begin
+    else if u < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
       Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
       Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
     end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  (* strict 4-hex-digit parse: [int_of_string_opt ("0x" ^ hex)] would
+     accept signs and underscores JSON forbids *)
+  let hex4 off =
+    let digit i =
+      match s.[off + i] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | _ -> raise Exit
+    in
+    match (digit 0, digit 1, digit 2, digit 3) with
+    | d0, d1, d2, d3 -> Some ((d0 lsl 12) lor (d1 lsl 8) lor (d2 lsl 4) lor d3)
+    | exception Exit -> None
   in
   let parse_string () =
     expect '"';
@@ -137,12 +161,33 @@ let parse s =
              | 'f' -> Buffer.add_char b '\012'; incr pos
              | 'u' ->
                if !pos + 4 >= n then fail "truncated \\u escape";
-               let hex = String.sub s (!pos + 1) 4 in
-               (match int_of_string_opt ("0x" ^ hex) with
+               (match hex4 (!pos + 1) with
+               | None -> fail "bad \\u escape %S" (String.sub s (!pos + 1) 4)
+               | Some u when u >= 0xD800 && u <= 0xDBFF ->
+                 (* high surrogate: a following \uDC00..\uDFFF escape
+                    combines into one supplementary-plane scalar (the
+                    only way JSON spells characters above U+FFFF);
+                    unpaired surrogates fall through as-is, keeping the
+                    parser total on anything [to_string] emits *)
+                 let lo =
+                   if
+                     !pos + 10 < n
+                     && s.[!pos + 5] = '\\'
+                     && s.[!pos + 6] = 'u'
+                   then hex4 (!pos + 7)
+                   else None
+                 in
+                 (match lo with
+                 | Some l when l >= 0xDC00 && l <= 0xDFFF ->
+                   add_scalar b
+                     (0x10000 + (((u - 0xD800) lsl 10) lor (l - 0xDC00)));
+                   pos := !pos + 11
+                 | _ ->
+                   add_scalar b u;
+                   pos := !pos + 5)
                | Some u ->
                  add_scalar b u;
-                 pos := !pos + 5
-               | None -> fail "bad \\u escape %S" hex)
+                 pos := !pos + 5)
              | c -> fail "bad escape \\%c" c);
           go ()
         | c ->

@@ -54,6 +54,15 @@ let publish t env = with_lock t.lock (fun () -> deliver t env)
 
 let emitter t ~worker = Emit.live ~worker ~clock:(clock t) ~push:(publish t)
 
+(* Run [f] under the consumer lock: an HTTP handler rendering the metrics
+   registry must not interleave with a concurrent fan-out updating it. *)
+let locked t f = with_lock t.lock (fun () -> f ())
+
+(* Deliver pre-built envelopes (a distributed worker's buffered stream,
+   decoded off the wire) in order, under the lock — the cross-process
+   analogue of a [buffered] emitter's flush. *)
+let inject t envs = with_lock t.lock (fun () -> List.iter (deliver t) envs)
+
 let buffered t ~worker =
   let buf = ref [] in
   let e =

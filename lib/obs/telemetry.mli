@@ -35,6 +35,18 @@ val buffered : t -> worker:int -> Emit.t * (unit -> unit)
 val add_consumer : t -> (Event.envelope -> unit) -> unit
 (** Sinks observe every event, in registration order. *)
 
+val locked : t -> (unit -> 'a) -> 'a
+(** Run a thunk under the consumer lock, mutually excluded from every
+    fan-out: the distributed coordinator's HTTP handlers render the
+    {!metrics} registry this way so a scrape never reads a half-applied
+    update.  Do not emit from inside the thunk. *)
+
+val inject : t -> Event.envelope list -> unit
+(** Deliver pre-built envelopes in list order under the lock — the
+    cross-process analogue of a {!buffered} flush, used by the
+    distributed coordinator to replay a worker's event stream decoded
+    off the wire. *)
+
 val on_close : t -> (unit -> unit) -> unit
 
 val add_trace : t -> string -> unit

@@ -37,65 +37,34 @@ let magic = "ICBREPR\x01"
 let version = 1
 
 let save ~path t =
-  let payload = Marshal.to_string t [] in
-  let digest = Digest.string payload in
-  let tmp =
-    Filename.temp_file
-      ~temp_dir:(Filename.dirname path)
-      (Filename.basename path) ".tmp"
-  in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc magic;
-     output_binary_int oc version;
-     output_string oc digest;
-     output_binary_int oc (String.length payload);
-     output_string oc payload;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Icb_util.Framing.write_file ~path ~magic ~version
+    ~payload:(Marshal.to_string t [])
 
 let load path =
-  let ic =
-    try open_in_bin path
-    with Sys_error msg -> corrupt "cannot open repro bundle: %s" msg
-  in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let read_exactly n what =
-        try really_input_string ic n
-        with End_of_file ->
-          corrupt "repro bundle %s is truncated (while reading %s)" path what
-      in
-      let m = read_exactly (String.length magic) "the magic number" in
-      if m <> magic then
-        corrupt "%s is not a repro bundle (bad magic)" path;
-      let v =
-        try input_binary_int ic
-        with End_of_file ->
-          corrupt "repro bundle %s is truncated (while reading the version)"
-            path
-      in
-      if v <> version then
-        corrupt "repro bundle %s has unsupported format version %d (this \
-                 build reads version %d)"
-          path v version;
-      let digest = read_exactly 16 "the digest" in
-      let len =
-        try input_binary_int ic
-        with End_of_file ->
-          corrupt "repro bundle %s is truncated (while reading the length)"
-            path
-      in
-      if len < 0 then corrupt "repro bundle %s has a negative length" path;
-      let payload = read_exactly len "the payload" in
-      if Digest.string payload <> digest then
-        corrupt "repro bundle %s is corrupt (digest mismatch)" path;
-      (Marshal.from_string payload 0 : t))
+  match
+    Icb_util.Framing.read_file
+      ~check_version:(fun v -> v = version)
+      ~path ~magic ()
+  with
+  | Error (Cannot_open msg) -> corrupt "cannot open repro bundle: %s" msg
+  | Error (Truncated section) ->
+    corrupt "repro bundle %s is truncated (while reading %s)" path
+      (match section with
+      | Magic -> "the magic number"
+      | Version -> "the version"
+      | Digest -> "the digest"
+      | Length -> "the length"
+      | Payload -> "the payload")
+  | Error Bad_magic -> corrupt "%s is not a repro bundle (bad magic)" path
+  | Error (Bad_version v) ->
+    corrupt "repro bundle %s has unsupported format version %d (this \
+             build reads version %d)"
+      path v version
+  | Error Negative_length ->
+    corrupt "repro bundle %s has a negative length" path
+  | Error Digest_mismatch ->
+    corrupt "repro bundle %s is corrupt (digest mismatch)" path
+  | Ok (_, payload) -> (Marshal.from_string payload 0 : t)
 
 let verify (type s) (module E : Icb_search.Engine.S with type state = s) t =
   match

@@ -85,84 +85,54 @@ type t_v1 = {
 }
 
 let save ~path t =
-  let payload = Marshal.to_string t [] in
-  let digest = Digest.string payload in
-  let tmp =
-    Filename.temp_file
-      ~temp_dir:(Filename.dirname path)
-      (Filename.basename path) ".tmp"
-  in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc magic;
-     output_binary_int oc version;
-     output_string oc digest;
-     output_binary_int oc (String.length payload);
-     output_string oc payload;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Icb_util.Framing.write_file ~path ~magic ~version
+    ~payload:(Marshal.to_string t [])
 
 let load path =
-  let ic =
-    try open_in_bin path
-    with Sys_error msg -> corrupt "cannot open checkpoint: %s" msg
-  in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let read_exactly n what =
-        try really_input_string ic n
-        with End_of_file ->
-          corrupt "checkpoint %s is truncated (while reading %s)" path what
-      in
-      let m = read_exactly (String.length magic) "the magic header" in
-      if m <> magic then
-        corrupt "%s is not an icb checkpoint (bad magic header)" path;
-      let v =
-        try input_binary_int ic
-        with End_of_file ->
-          corrupt "checkpoint %s is truncated (while reading the version)"
-            path
-      in
-      if v < 1 || v > version then
-        corrupt
-          "checkpoint %s has format version %d but this build reads only \
-           versions 1..%d; re-run the original search"
-          path v version;
-      let digest = read_exactly 16 "the payload digest" in
-      let len =
-        try input_binary_int ic
-        with End_of_file ->
-          corrupt "checkpoint %s is truncated (while reading the length)"
-            path
-      in
-      if len < 0 then corrupt "checkpoint %s declares a negative length" path;
-      let payload = read_exactly len "the payload" in
-      if Digest.string payload <> digest then
-        corrupt
-          "checkpoint %s is corrupted (payload checksum mismatch); it was \
-           probably damaged after being written"
-          path;
-      if v = 1 then
-        match (Marshal.from_string payload 0 : t_v1) with
-        | old ->
-          {
-            strategy = old.v1_strategy;
-            meta = old.v1_meta;
-            collector = Collector.snapshot_of_v1 old.v1_collector;
-            frontier = old.v1_frontier;
-          }
-        | exception Failure msg ->
-          corrupt "checkpoint %s payload does not unmarshal: %s" path msg
-      else
-        match (Marshal.from_string payload 0 : t) with
-        | t -> t
-        | exception Failure msg ->
-          corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
+  match
+    Icb_util.Framing.read_file
+      ~check_version:(fun v -> v >= 1 && v <= version)
+      ~path ~magic ()
+  with
+  | Error (Cannot_open msg) -> corrupt "cannot open checkpoint: %s" msg
+  | Error (Truncated section) ->
+    corrupt "checkpoint %s is truncated (while reading %s)" path
+      (match section with
+      | Magic -> "the magic header"
+      | Version -> "the version"
+      | Digest -> "the payload digest"
+      | Length -> "the length"
+      | Payload -> "the payload")
+  | Error Bad_magic ->
+    corrupt "%s is not an icb checkpoint (bad magic header)" path
+  | Error (Bad_version v) ->
+    corrupt
+      "checkpoint %s has format version %d but this build reads only \
+       versions 1..%d; re-run the original search"
+      path v version
+  | Error Negative_length ->
+    corrupt "checkpoint %s declares a negative length" path
+  | Error Digest_mismatch ->
+    corrupt
+      "checkpoint %s is corrupted (payload checksum mismatch); it was \
+       probably damaged after being written"
+      path
+  | Ok (1, payload) -> (
+    match (Marshal.from_string payload 0 : t_v1) with
+    | old ->
+      {
+        strategy = old.v1_strategy;
+        meta = old.v1_meta;
+        collector = Collector.snapshot_of_v1 old.v1_collector;
+        frontier = old.v1_frontier;
+      }
+    | exception Failure msg ->
+      corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
+  | Ok (_, payload) -> (
+    match (Marshal.from_string payload 0 : t) with
+    | t -> t
+    | exception Failure msg ->
+      corrupt "checkpoint %s payload does not unmarshal: %s" path msg)
 
 (* Upgrade a legacy frontier in memory.  The random-walk conversion drops
    the saved sequential RNG state: walks are now derived from (seed, walk

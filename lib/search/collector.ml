@@ -301,6 +301,8 @@ let snapshot_executions s = s.s_executions
 
 let snapshot_steps s = s.s_total_steps
 
+let snapshot_states s = Array.length s.s_visited
+
 (* The format-v1 snapshot layout (before the per-bound execution counts
    grew the record): identical except for the missing final
    [s_bound_executions] field.  [Checkpoint.load] unmarshals v1 payloads
@@ -384,3 +386,163 @@ let result t ~strategy =
     bound_executions = Array.of_list (List.rev t.bound_executions);
     total_steps = t.total_steps;
   }
+
+(* --- wire codec ----------------------------------------------------------- *)
+
+(* JSON for the distributed protocol: a worker ships its whole snapshot —
+   including the visited-signature set, so the coordinator's
+   [merge_stats] computes the same distinct-state union a shared-memory
+   barrier would.  Signatures are 64-bit, JSON numbers are not, so they
+   travel as decimal strings. *)
+
+module J = Icb_obs.Json
+
+let bug_to_json (b : Sresult.bug) =
+  J.Obj
+    [
+      ("key", J.String b.Sresult.key);
+      ("msg", J.String b.Sresult.msg);
+      ("schedule", J.List (List.map (fun t -> J.Int t) b.Sresult.schedule));
+      ("preemptions", J.Int b.Sresult.preemptions);
+      ("context_switches", J.Int b.Sresult.context_switches);
+      ("depth", J.Int b.Sresult.depth);
+      ("execution", J.Int b.Sresult.execution);
+    ]
+
+let pairs_to_json l =
+  J.List (List.map (fun (a, b) -> J.List [ J.Int a; J.Int b ]) l)
+
+let snapshot_to_json (s : snapshot) =
+  J.Obj
+    [
+      ( "visited",
+        J.List
+          (Array.to_list
+             (Array.map (fun v -> J.String (Int64.to_string v)) s.s_visited))
+      );
+      ("bugs", J.List (List.map bug_to_json s.s_bugs));
+      ("executions", J.Int s.s_executions);
+      ("total_steps", J.Int s.s_total_steps);
+      ("max_steps", J.Int s.s_max_steps);
+      ("max_blocks", J.Int s.s_max_blocks);
+      ("max_preemptions", J.Int s.s_max_preemptions);
+      ("max_threads", J.Int s.s_max_threads);
+      ("complete", J.Bool s.s_complete);
+      ("growth", pairs_to_json s.s_growth);
+      ("bound_coverage", pairs_to_json s.s_bound_coverage);
+      ("bound_executions", pairs_to_json s.s_bound_executions);
+    ]
+
+let ( let* ) = Result.bind
+
+let field j key =
+  match J.find j key with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "snapshot: missing field %S" key)
+
+let as_int key = function
+  | J.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "snapshot: field %S is not an int" key)
+
+let int_field j key =
+  let* v = field j key in
+  as_int key v
+
+let as_list key = function
+  | J.List l -> Ok l
+  | _ -> Error (Printf.sprintf "snapshot: field %S is not a list" key)
+
+let list_field j key =
+  let* v = field j key in
+  as_list key v
+
+let map_result f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let pairs_of_json key j =
+  let* l = as_list key j in
+  map_result
+    (function
+      | J.List [ J.Int a; J.Int b ] -> Ok (a, b)
+      | _ -> Error (Printf.sprintf "snapshot: field %S is not int pairs" key))
+    l
+
+let bug_of_json j =
+  let str key =
+    let* v = field j key in
+    match v with
+    | J.String s -> Ok s
+    | _ -> Error (Printf.sprintf "snapshot: bug field %S is not a string" key)
+  in
+  let* key = str "key" in
+  let* msg = str "msg" in
+  let* sched = list_field j "schedule" in
+  let* schedule = map_result (as_int "schedule") sched in
+  let* preemptions = int_field j "preemptions" in
+  let* context_switches = int_field j "context_switches" in
+  let* depth = int_field j "depth" in
+  let* execution = int_field j "execution" in
+  Ok
+    {
+      Sresult.key;
+      msg;
+      schedule;
+      preemptions;
+      context_switches;
+      depth;
+      execution;
+    }
+
+let snapshot_of_json j : (snapshot, string) result =
+  let* visited = list_field j "visited" in
+  let* visited =
+    map_result
+      (function
+        | J.String s -> (
+          match Int64.of_string_opt s with
+          | Some v -> Ok v
+          | None -> Error "snapshot: bad visited signature")
+        | _ -> Error "snapshot: visited entries must be strings")
+      visited
+  in
+  let* bugs = list_field j "bugs" in
+  let* bugs = map_result bug_of_json bugs in
+  let* executions = int_field j "executions" in
+  let* total_steps = int_field j "total_steps" in
+  let* max_steps = int_field j "max_steps" in
+  let* max_blocks = int_field j "max_blocks" in
+  let* max_preemptions = int_field j "max_preemptions" in
+  let* max_threads = int_field j "max_threads" in
+  let* complete =
+    let* v = field j "complete" in
+    match v with
+    | J.Bool b -> Ok b
+    | _ -> Error "snapshot: field \"complete\" is not a bool"
+  in
+  let* growth = field j "growth" in
+  let* growth = pairs_of_json "growth" growth in
+  let* bound_coverage = field j "bound_coverage" in
+  let* bound_coverage = pairs_of_json "bound_coverage" bound_coverage in
+  let* bound_executions = field j "bound_executions" in
+  let* bound_executions = pairs_of_json "bound_executions" bound_executions in
+  Ok
+    {
+      s_visited = Array.of_list visited;
+      s_bugs = bugs;
+      s_executions = executions;
+      s_total_steps = total_steps;
+      s_max_steps = max_steps;
+      s_max_blocks = max_blocks;
+      s_max_preemptions = max_preemptions;
+      s_max_threads = max_threads;
+      s_complete = complete;
+      s_growth = growth;
+      s_bound_coverage = bound_coverage;
+      s_bound_executions = bound_executions;
+    }

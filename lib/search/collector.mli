@@ -139,6 +139,18 @@ val snapshot_executions : snapshot -> int
 
 val snapshot_steps : snapshot -> int
 
+val snapshot_states : snapshot -> int
+(** Distinct states the snapshotted collector recorded. *)
+
+val snapshot_to_json : snapshot -> Icb_obs.Json.t
+(** The wire form used by the distributed protocol: everything the
+    snapshot holds — including the visited-signature set, as decimal
+    strings (JSON numbers are not 64-bit) — so the receiving side's
+    {!merge_stats} computes the same distinct-state union a
+    shared-memory barrier would. *)
+
+val snapshot_of_json : Icb_obs.Json.t -> (snapshot, string) result
+
 type snapshot_v1
 (** The snapshot layout written by format-v1 checkpoints (no per-bound
     execution counts).  Only {!Checkpoint.load} unmarshals values at this

@@ -81,8 +81,7 @@ let run (type s) (module E : Engine.S with type state = s) ?options
     ?telemetry ?replay_cache:cache ?on_cache_stats ~domains
     (instantiate ?env (module E) strategy)
 
-let strategy_of_checkpoint (c : Checkpoint.t) =
-  let f = Checkpoint.to_v3 c in
+let strategy_of_v3 (f : Checkpoint.v3) =
   let p = f.Checkpoint.v3_params in
   let int_p key ~default =
     match List.assoc_opt key p with
@@ -136,6 +135,9 @@ let strategy_of_checkpoint (c : Checkpoint.t) =
     invalid_arg
       (Printf.sprintf
          "Explore.strategy_of_checkpoint: unknown strategy tag %S" tag)
+
+let strategy_of_checkpoint (c : Checkpoint.t) =
+  strategy_of_v3 (Checkpoint.to_v3 c)
 
 let resume (type s) (module E : Engine.S with type state = s) ?options
     ?checkpoint_out ?checkpoint_every ?checkpoint_meta ?telemetry ?domains

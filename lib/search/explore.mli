@@ -152,6 +152,24 @@ val resume :
 
 val strategy_of_checkpoint : Checkpoint.t -> strategy
 
+val strategy_of_v3 : Checkpoint.v3 -> strategy
+(** Rebuild a strategy value from a serialized v3 frontier's tag and
+    parameters alone — what {!strategy_of_checkpoint} does after
+    upgrading, and what a distributed worker does with the frontier
+    slice it receives over the wire.  Raises [Invalid_argument] on an
+    unknown tag. *)
+
+val instantiate :
+  ?env:Strategy.env ->
+  (module Engine.S with type state = 's) ->
+  strategy ->
+  (module Strategy.S with type state = 's)
+(** Build the strategy instance {!run} would execute.  Instances are
+    single-use (they hold the run's round state): build one per search.
+    Exposed for drivers outside this module — the distributed
+    coordinator/worker pair positions instances directly via
+    {!Strategy.S.of_prefixes}. *)
+
 val check :
   (module Engine.S with type state = 's) ->
   ?options:Collector.options ->

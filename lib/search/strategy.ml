@@ -199,3 +199,49 @@ module type S = sig
       counters where the frontier alone is not enough (a v2 random-walk
       frontier carries no walk index). *)
 end
+
+(* --- distributed round-local parameter merge ----------------------------- *)
+
+(* A distributed coordinator serializes the round's frontier once
+   ([to_prefixes] -> [sent]) and each worker reports its slice back as
+   another parameter list.  Configuration keys are identical everywhere;
+   the only keys that move during a round are the round-local progress
+   counters, and each has one merge law:
+
+     "truncated", "sealed"  per-worker *additive* counters folded into the
+                            serialized value on top of a shared base —
+                            each report's delta against [sent] sums;
+     "k"                    PCT's depth high-water mark — a maximum.
+
+   Any other key keeps the coordinator's sent value, which also covers the
+   nondeterministic timing params ([Checkpoint.elapsed_key]) the driver
+   stamps after serialization.  The result is exactly the parameter list a
+   single [to_prefixes] over the union of the workers' wstates would have
+   produced, ready for [of_prefixes] on the coordinator's instance. *)
+let merge_params ~sent ~reported =
+  let int_of key l ~default =
+    match List.assoc_opt key l with
+    | Some s -> ( match int_of_string_opt s with Some i -> i | None -> default)
+    | None -> default
+  in
+  List.map
+    (fun (key, v) ->
+      match key with
+      | "truncated" | "sealed" ->
+        let base = match int_of_string_opt v with Some i -> i | None -> 0 in
+        let total =
+          List.fold_left
+            (fun acc r -> acc + (int_of key r ~default:base - base))
+            base reported
+        in
+        (key, string_of_int total)
+      | "k" ->
+        let top =
+          List.fold_left
+            (fun acc r -> max acc (int_of key r ~default:0))
+            (match int_of_string_opt v with Some i -> i | None -> 0)
+            reported
+        in
+        (key, string_of_int top)
+      | _ -> (key, v))
+    sent

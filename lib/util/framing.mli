@@ -1,0 +1,51 @@
+(** MD5-checksum + length framing shared by checkpoint files, repro
+    bundles and the distributed wire protocol.
+
+    A frame is
+    {v
+      bytes 0..m-1   caller-chosen magic (m = String.length magic)
+      bytes m..m+3   format version (big-endian int, output_binary_int)
+      next 16        MD5 digest of the payload
+      next 4         payload length (big-endian int)
+      rest           payload bytes
+    v}
+
+    Errors are structured so each caller keeps its own message wording;
+    [read_frame]/[read_file] never raise on malformed input. *)
+
+type section = Magic | Version | Digest | Length | Payload
+
+type error =
+  | Cannot_open of string  (** [Sys_error] message from [open_in_bin] *)
+  | Truncated of section   (** input ended while reading this section *)
+  | Bad_magic
+  | Bad_version of int     (** rejected by [check_version] *)
+  | Negative_length
+  | Digest_mismatch
+
+(** Append one frame to [oc] (set to binary mode by the caller). *)
+val write_frame :
+  out_channel -> magic:string -> version:int -> payload:string -> unit
+
+(** Read one frame, validating magic and digest.  [check_version]
+    (default: accept all) rejects unsupported versions before the
+    payload is read, so a bad version is reported even on a file whose
+    payload is also damaged.  Returns [(version, payload)]. *)
+val read_frame :
+  ?check_version:(int -> bool) ->
+  in_channel ->
+  magic:string ->
+  (int * string, error) result
+
+(** Write a single-frame file: temp file in the target's directory,
+    then atomic rename, so a killed writer never leaves a half-written
+    file under [path]. *)
+val write_file :
+  path:string -> magic:string -> version:int -> payload:string -> unit
+
+val read_file :
+  ?check_version:(int -> bool) ->
+  path:string ->
+  magic:string ->
+  unit ->
+  (int * string, error) result

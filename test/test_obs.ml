@@ -65,6 +65,50 @@ let json_tests =
             | exception Json.Parse_error _ -> ()
             | _ -> Alcotest.failf "parse %S should have failed" s)
           [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ]);
+    Alcotest.test_case "malformed \\u escapes raise Parse_error" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            match Json.parse s with
+            | exception Json.Parse_error _ -> ()
+            | _ -> Alcotest.failf "parse %S should have failed" s)
+          (* int_of_string-style leniency (underscores, signs) is not JSON *)
+          [ {|"\u00_1"|}; {|"\u+123"|}; {|"\u12g4"|}; {|"\u12|} ]);
+    Alcotest.test_case "surrogate pairs decode to one UTF-8 scalar" `Quick
+      (fun () ->
+        let str s =
+          match Json.parse s with
+          | Json.String v -> v
+          | _ -> Alcotest.failf "parse %S: expected a string" s
+        in
+        check Alcotest.string "U+1F600" "\xF0\x9F\x98\x80"
+          (str "\"\\ud83d\\ude00\"");
+        check Alcotest.string "U+10000" "\xF0\x90\x80\x80"
+          (str "\"\\ud800\\udc00\"");
+        (* unpaired surrogates decode best-effort rather than failing *)
+        check Alcotest.string "lone high surrogate" "\xED\xA0\xBD!"
+          (str {|"\ud83d!"|});
+        check Alcotest.string "high + non-surrogate escape" "\xED\xA0\xBDA"
+          (str {|"\ud83dA"|}));
+    (let byte =
+       QCheck.Gen.(
+         frequency
+           [
+             (2, map Char.chr (int_range 0x00 0x1F));
+             (4, printable);
+             (3, map Char.chr (int_range 0x80 0xFF));
+             (1, oneofl [ '"'; '\\'; '/'; '\x7f'; '\xc3'; '\xf0'; '\x9f' ]);
+           ])
+     in
+     let arb =
+       QCheck.make
+         ~print:(fun s -> Printf.sprintf "%S" s)
+         QCheck.Gen.(string_size ~gen:byte (int_bound 48))
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make ~count:2000
+          ~name:"arbitrary byte strings survive print/parse" arb (fun s ->
+            Json.parse (Json.to_string (Json.String s)) = Json.String s)));
     Alcotest.test_case "accessors" `Quick (fun () ->
         let j = Json.parse {|{"i":3,"f":2.5,"s":"x","b":false,"n":null}|} in
         check (Alcotest.option Alcotest.int) "int" (Some 3)
